@@ -1,0 +1,23 @@
+"""Ablation bench: number of hash choices d.
+
+Paper (Section III): two choices give an exponential improvement over
+one; more than two only a constant factor.  This is the design choice
+behind PKG's d = 2.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_dchoices, run_dchoices_ablation
+
+
+def test_dchoices_ablation(benchmark, bench_config):
+    rows = run_once(
+        benchmark, run_dchoices_ablation, bench_config, choices=(1, 2, 3, 4)
+    )
+    print("\n" + format_dchoices(rows))
+    by = {r.num_choices: r.average_imbalance_fraction for r in rows}
+    # d = 1 (hashing) orders of magnitude worse than d = 2 (PKG).
+    assert by[1] > 50 * by[2]
+    # d > 2: constant-factor improvements only.
+    assert by[3] > by[2] / 10
+    assert by[4] > by[2] / 10

@@ -1,0 +1,26 @@
+"""Ablation bench: probing frequency.
+
+Paper (Q2): replacing local estimates with the true loads every probe
+period does not improve balance, at any frequency -- local estimation
+alone suffices.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_probing, run_probing_ablation
+
+
+def test_probing_ablation(benchmark, bench_config):
+    rows = run_once(
+        benchmark,
+        run_probing_ablation,
+        bench_config,
+        periods_minutes=(0.0, 0.5, 1.0, 5.0),
+    )
+    print("\n" + format_probing(rows))
+    local = next(r for r in rows if r.probe_period == 0.0)
+    for r in rows:
+        if r.probe_period > 0:
+            # No probing frequency beats local estimation by more than
+            # noise -- the overhead buys nothing.
+            assert r.average_imbalance_fraction > local.average_imbalance_fraction / 10

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 2 (imbalance fraction: H vs G vs L5..L20)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig2, run_fig2
+
+
+def test_fig2_local_estimation(benchmark, bench_config):
+    rows = run_once(benchmark, run_fig2, bench_config)
+    print("\n" + format_fig2(rows))
+
+    def cell(dataset, tech, w):
+        return next(
+            r.average_imbalance_fraction
+            for r in rows
+            if r.dataset == dataset and r.technique == tech and r.num_workers == w
+        )
+
+    for dataset in ("WP", "TW", "CT", "LN1", "LN2"):
+        # H orders of magnitude above the PKG variants at W = 5.
+        assert cell(dataset, "H", 5) > 10 * cell(dataset, "L5", 5)
+        # Local estimation within about one order of the global oracle.
+        assert cell(dataset, "L5", 5) <= 10 * max(cell(dataset, "G", 5), 1e-9)
+        # Insensitive to the number of sources (L5 vs L10 same ballpark).
+        assert cell(dataset, "L10", 5) <= 5 * cell(dataset, "L5", 5) + 1e-9

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 3 (imbalance fraction through time)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig3, run_fig3
+
+
+def test_fig3_imbalance_through_time(benchmark, bench_config):
+    series = run_once(benchmark, run_fig3, bench_config)
+    print("\n" + format_fig3(series))
+    by = {(s.dataset, s.num_workers, s.technique): s for s in series}
+
+    for dataset, w in (("TW", 10), ("WP", 10), ("CT", 10)):
+        g = by[(dataset, w, "G")]
+        local = by[(dataset, w, "L5")]
+        probing = by[(dataset, w, "L5P1")]
+        # G and L5 comparable; probing adds nothing (paper's Q2 result).
+        assert local.mean_fraction <= 10 * max(g.mean_fraction, 1e-9)
+        assert probing.mean_fraction <= 10 * max(local.mean_fraction, 1e-9)
+        # Imbalance fraction shrinks (or stays flat) as the stream grows.
+        assert local.imbalance_fraction[-1] <= local.imbalance_fraction[0] * 10

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 4 (uniform vs skewed source splits, LJ)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig4, run_fig4
+
+
+def test_fig4_robustness_to_skewed_sources(benchmark, bench_config):
+    rows = run_once(benchmark, run_fig4, bench_config)
+    print("\n" + format_fig4(rows))
+
+    def cell(split, s, w):
+        return next(
+            r.average_imbalance_fraction
+            for r in rows
+            if r.split == split and r.num_sources == s and r.num_workers == w
+        )
+
+    for s in bench_config.sources:
+        for w in bench_config.workers:
+            uniform, skewed = cell("uniform", s, w), cell("skewed", s, w)
+            # Paper: the skewed split performs like the uniform one.
+            assert skewed <= 3 * uniform + 1e-6
+            # Absolute imbalance stays tiny in the feasible regime.
+            if w <= 10:
+                assert skewed < 1e-3

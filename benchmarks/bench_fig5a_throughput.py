@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 5(a) (cluster throughput vs CPU delay).
+
+Paper's shape: PKG ~ SG > KG; KG saturates around 0.4 ms and loses
+~60% of its throughput over the tenfold delay increase, PKG/SG ~37%;
+KG's latency is substantially higher at saturation.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_fig5a, run_fig5a
+from repro.experiments.fig5a import degradations
+
+
+def test_fig5a_throughput_vs_delay(benchmark, bench_config):
+    rows = run_once(
+        benchmark, run_fig5a, bench_config, delays=(0.1e-3, 0.4e-3, 1.0e-3)
+    )
+    print("\n" + format_fig5a(rows))
+
+    def row(scheme, delay):
+        return next(r for r in rows if r.scheme == scheme and r.cpu_delay == delay)
+
+    # Low delay: spout-bound, all schemes equal.
+    low = [row(s, 0.1e-3).throughput for s in ("KG", "SG", "PKG")]
+    assert max(low) - min(low) < 0.05 * max(low)
+
+    # High delay: KG clearly below PKG ~ SG.
+    assert row("KG", 1.0e-3).throughput < 0.8 * row("PKG", 1.0e-3).throughput
+    pkg, sg = row("PKG", 1.0e-3).throughput, row("SG", 1.0e-3).throughput
+    assert abs(pkg - sg) < 0.1 * sg
+
+    # Degradation over the sweep: KG worse than PKG/SG (paper: 60 vs 37%).
+    degr = degradations(rows)
+    assert degr["KG"] > degr["PKG"] + 0.1
+    assert 0.2 < degr["PKG"] < 0.6
+
+    # Latency: KG pays for its hot-worker queue.
+    assert row("KG", 1.0e-3).mean_latency > 1.3 * row("PKG", 1.0e-3).mean_latency

@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 5(b) (throughput vs memory per agg period).
+
+Paper's shape: at every aggregation period PKG achieves higher
+throughput than SG with lower memory; short periods depress PKG below
+the KG reference, which PKG overtakes as the period grows.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_fig5b, run_fig5b
+
+
+def test_fig5b_throughput_vs_memory(benchmark, micro_config):
+    periods = (1.0, 4.0)
+    rows = run_once(benchmark, run_fig5b, micro_config, periods=periods)
+    print("\n" + format_fig5b(rows))
+
+    def row(scheme, period):
+        return next(
+            r for r in rows if r.scheme == scheme and r.aggregation_period == period
+        )
+
+    for period in periods:
+        pkg, sg = row("PKG", period), row("SG", period)
+        assert pkg.throughput >= 0.9 * sg.throughput
+        assert pkg.average_memory_counters < sg.average_memory_counters
+
+    # Longer periods -> more worker memory, fewer aggregation messages.
+    assert (
+        row("PKG", 1.0).average_memory_counters
+        < row("PKG", 4.0).average_memory_counters
+    )
+    assert row("PKG", 1.0).aggregation_messages > row("PKG", 4.0).aggregation_messages

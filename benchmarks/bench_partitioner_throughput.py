@@ -1,0 +1,59 @@
+"""Micro-bench: routing throughput of each partitioning scheme.
+
+Not a paper figure -- an engineering bench guarding the hot path: PKG's
+per-message routing must stay within a small factor of plain hashing,
+or million-message simulations become impractical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.partitioning import (
+    KeyGrouping,
+    OnlineGreedy,
+    PartialKeyGrouping,
+    ShuffleGrouping,
+    StaticPoTC,
+)
+from repro.streams.distributions import ZipfKeyDistribution
+
+KEYS = ZipfKeyDistribution(1.1, 10_000).sample(
+    100_000, np.random.default_rng(0)
+)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: KeyGrouping(16),
+        lambda: ShuffleGrouping(16),
+        lambda: PartialKeyGrouping(16),
+        lambda: PartialKeyGrouping(16, num_choices=4),
+    ],
+    ids=["KG", "SG", "PKG-d2", "PKG-d4"],
+)
+def test_route_stream_throughput(benchmark, make):
+    partitioner = make()
+
+    def run():
+        partitioner.reset()
+        return partitioner.route_stream(KEYS)
+
+    routed = benchmark(run)
+    assert routed.size == KEYS.size
+
+
+@pytest.mark.parametrize(
+    "make",
+    [lambda: StaticPoTC(16), lambda: OnlineGreedy(16)],
+    ids=["PoTC", "On-Greedy"],
+)
+def test_table_based_scheme_throughput(benchmark, make):
+    keys = KEYS[:20_000]
+
+    def run():
+        partitioner = make()
+        return partitioner.route_stream(keys)
+
+    routed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert routed.size == keys.size

@@ -1,0 +1,16 @@
+"""Bench: the Q2 Jaccard observation (G vs L agree on ~47% of routes)."""
+
+from conftest import run_once
+
+from repro.experiments import format_jaccard, run_jaccard
+
+
+def test_q2_jaccard_overlap(benchmark, bench_config):
+    row = run_once(benchmark, run_jaccard, bench_config)
+    print("\n" + format_jaccard(row))
+    # Different local minima: well below full agreement...
+    assert row.jaccard < 0.85
+    # ...but both routings balance equally well.
+    assert row.imbalance_fraction_local <= 10 * max(
+        row.imbalance_fraction_global, 1e-9
+    )

@@ -1,0 +1,62 @@
+"""Micro-bench: sketch substrate throughput (SPACESAVING, histograms).
+
+Engineering benches for the Section VI building blocks: per-item costs
+must stay flat so the applications scale to long streams.
+"""
+
+import numpy as np
+
+from repro.sketches import SpaceSaving, StreamingHistogram
+from repro.streams.distributions import ZipfKeyDistribution
+
+ITEMS = ZipfKeyDistribution(1.2, 5_000).sample(
+    50_000, np.random.default_rng(1)
+).tolist()
+POINTS = np.random.default_rng(2).normal(0.0, 1.0, 20_000).tolist()
+
+
+def test_spacesaving_offer_throughput(benchmark):
+    def run():
+        ss = SpaceSaving(256)
+        ss.extend(ITEMS)
+        return ss
+
+    ss = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert ss.total == len(ITEMS)
+
+
+def test_spacesaving_merge_throughput(benchmark):
+    a, b = SpaceSaving(256), SpaceSaving(256)
+    half = len(ITEMS) // 2
+    a.extend(ITEMS[:half])
+    b.extend(ITEMS[half:])
+
+    merged = benchmark(lambda: a.merge(b))
+    assert merged.total == len(ITEMS)
+
+
+def test_histogram_update_throughput(benchmark):
+    def run():
+        h = StreamingHistogram(64)
+        h.extend(POINTS)
+        return h
+
+    h = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert h.total == len(POINTS)
+
+
+def test_histogram_merge_throughput(benchmark):
+    a, b = StreamingHistogram(64), StreamingHistogram(64)
+    half = len(POINTS) // 2
+    a.extend(POINTS[:half])
+    b.extend(POINTS[half:])
+
+    merged = benchmark(lambda: a.merge(b))
+    assert merged.total == len(POINTS)
+
+
+def test_histogram_uniform_throughput(benchmark):
+    h = StreamingHistogram(64)
+    h.extend(POINTS)
+    points = benchmark(lambda: h.uniform(10))
+    assert len(points) == 9

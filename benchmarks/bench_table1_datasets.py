@@ -1,0 +1,14 @@
+"""Bench: regenerate Table I (dataset summary) and validate calibration."""
+
+from conftest import run_once
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_dataset_generation(benchmark, bench_config):
+    rows = run_once(benchmark, run_table1, bench_config)
+    print("\n" + format_table1(rows))
+    assert len(rows) == 8
+    # The synthetic calibration must hit every published p1.
+    for row in rows:
+        assert row.p1_relative_error < 0.2, row.symbol

@@ -1,0 +1,30 @@
+"""Bench: regenerate Table II (avg imbalance per scheme, WP and TW).
+
+Paper's shape: Hashing >> PoTC >= On-Greedy >= Off-Greedy ~ PKG at
+feasible worker counts; everything collapses beyond the O(1/p1) limit.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_table2, run_table2
+
+
+def test_table2_scheme_comparison(benchmark, bench_config):
+    rows = run_once(benchmark, run_table2, bench_config)
+    print("\n" + format_table2(rows))
+
+    def cell(dataset, scheme, w):
+        return next(
+            r.average_imbalance
+            for r in rows
+            if r.dataset == dataset and r.scheme == scheme and r.num_workers == w
+        )
+
+    for dataset in ("WP", "TW"):
+        # Feasible regime (W = 5): PKG near-perfect, hashing awful.
+        assert cell(dataset, "PKG", 5) < cell(dataset, "H", 5) / 100
+        assert cell(dataset, "PKG", 5) <= cell(dataset, "PoTC", 5)
+        # PKG is competitive with the offline algorithm (paper: better).
+        assert cell(dataset, "PKG", 5) <= 10 * max(cell(dataset, "Off-Greedy", 5), 1)
+        # Collapse beyond the feasibility threshold.
+        assert cell(dataset, "PKG", 100) > cell(dataset, "PKG", 5)

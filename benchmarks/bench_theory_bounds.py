@@ -1,0 +1,49 @@
+"""Bench: empirical verification of the Section IV theorems.
+
+Runs the chromatic Greedy-d process on the extremal distribution
+(uniform over 5n colors) and checks the Theorem 4.1 / 4.2 shapes:
+d = 1 imbalance carries the ln n / ln ln n factor, d >= 2 is O(m/n).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.analysis import ChromaticBallsAndBins, imbalance_upper_bound
+
+
+def run_process(n, m, d, seeds=(0, 1, 2)):
+    return [
+        ChromaticBallsAndBins(n, d, seed=s).run(m).imbalance for s in seeds
+    ]
+
+
+def test_theorem41_shapes(benchmark):
+    n, m = 50, 250_000  # m >= n^2, p1 = 1/(5n) boundary case
+
+    def run():
+        return {
+            1: run_process(n, m, 1),
+            2: run_process(n, m, 2),
+            3: run_process(n, m, 3),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean = lambda xs: sum(xs) / len(xs)
+    one, two, three = mean(results[1]), mean(results[2]), mean(results[3])
+    print(
+        f"\nGreedy-d imbalance (n={n}, m={m}): "
+        f"d=1 {one:.0f}, d=2 {two:.0f}, d=3 {three:.0f}; "
+        f"m/n = {m / n:.0f}"
+    )
+
+    # d = 2 is O(m/n) with a small constant (Theorem 4.1).
+    assert two <= 2.0 * m / n
+    # d = 1 is strictly worse than d >= 2 (the exponential gap).
+    assert one > 10 * two
+    # d = 3 also satisfies the d >= 2 bound; it can only improve on
+    # d = 2 by a bounded amount (both are tiny relative to d = 1).
+    assert three <= 2.0 * m / n
+    assert three <= two + m / n
+    # The closed-form bound helper orders the same way.
+    assert imbalance_upper_bound(m, n, 1) > imbalance_upper_bound(m, n, 2)

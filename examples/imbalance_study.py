@@ -1,0 +1,44 @@
+"""Imbalance study across all Table I datasets (miniature Figure 2).
+
+For each dataset, compare hashing, the PKG global oracle, and PKG with
+local estimation at 5 sources, across worker counts -- and show where
+each dataset's O(1/p1) feasibility threshold falls.
+
+Run:  python examples/imbalance_study.py
+"""
+
+from repro.analysis import feasible_workers
+from repro.experiments import ExperimentConfig, run_fig2
+from repro.streams import DATASETS
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=0.2, workers=(5, 10, 50, 100), sources=(5,))
+    rows = run_fig2(config, datasets=("WP", "TW", "CT", "LN1", "LN2"))
+
+    print("feasibility thresholds (W = 2/p1):")
+    for symbol in ("WP", "TW", "CT", "LN1", "LN2"):
+        p1 = DATASETS[symbol].paper_p1_percent / 100.0
+        print(f"  {symbol:4s} p1={p1:.2%}  ->  W <= {feasible_workers(p1)}")
+
+    print("\nfraction of average imbalance (lower is better):")
+    datasets = list(dict.fromkeys(r.dataset for r in rows))
+    workers = sorted({r.num_workers for r in rows})
+    techniques = list(dict.fromkeys(r.technique for r in rows))
+    for d in datasets:
+        print(f"\n[{d}]")
+        print("tech  " + "".join(f"{f'W={w}':>12s}" for w in workers))
+        for t in techniques:
+            vals = []
+            for w in workers:
+                match = [
+                    r
+                    for r in rows
+                    if r.dataset == d and r.technique == t and r.num_workers == w
+                ]
+                vals.append(f"{match[0].average_imbalance_fraction:12.2e}")
+            print(f"{t:5s} " + "".join(vals))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Run the simulated Storm word-count cluster (the paper's Q4 testbed).
+
+Deploys the 1-spout + 9-counter topology under each partitioning scheme
+at two CPU delays, then once more with the aggregation stage enabled --
+a miniature of Figures 5(a) and 5(b).
+
+Run:  python examples/wordcount_topology.py
+"""
+
+from repro.dspe import ClusterConfig, run_wordcount
+from repro.streams import get_dataset
+
+
+def main() -> None:
+    distribution = get_dataset("WP").distribution()
+
+    print("== throughput vs CPU delay (Fig 5a miniature) ==")
+    print(f"{'scheme':6s} {'delay':>7s} {'keys/s':>8s} {'mean lat':>9s} {'p99 lat':>9s}")
+    for delay in (0.1e-3, 1.0e-3):
+        for scheme in ("kg", "sg", "pkg"):
+            cfg = ClusterConfig(cpu_delay=delay, duration=10.0, warmup=2.0)
+            m = run_wordcount(scheme, distribution, cfg)
+            print(
+                f"{m.scheme:6s} {delay * 1e3:6.1f}ms {m.throughput:8.0f} "
+                f"{m.latency.mean * 1e3:8.2f}ms {m.latency.percentile(99) * 1e3:8.2f}ms"
+            )
+
+    print("\n== with periodic aggregation (Fig 5b miniature) ==")
+    print(f"{'scheme':6s} {'period':>7s} {'keys/s':>8s} {'avg counters':>13s}")
+    for scheme in ("pkg", "sg"):
+        for period in (2.0, 10.0):
+            cfg = ClusterConfig(
+                cpu_delay=0.4e-3,
+                duration=30.0,
+                warmup=10.0,
+                aggregation_period=period,
+            )
+            m = run_wordcount(scheme, distribution, cfg)
+            print(
+                f"{m.scheme:6s} {period:6.0f}s {m.throughput:8.0f} "
+                f"{m.average_memory_counters:13.0f}"
+            )
+    kg = run_wordcount(
+        "kg",
+        distribution,
+        ClusterConfig(cpu_delay=0.4e-3, duration=30.0, warmup=10.0),
+    )
+    print(f"{'KG':6s} {'none':>7s} {kg.throughput:8.0f} {kg.average_memory_counters:13.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Normal installs use pyproject.toml (``pip install -e .``).  On offline
+machines lacking ``wheel`` (required by PEP 660 editable builds), use::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro: PARTIAL KEY GROUPING and its evaluation substrate.
+
+A from-scratch reproduction of *"The Power of Both Choices: Practical
+Load Balancing for Distributed Stream Processing Engines"* (Nasir,
+De Francisci Morales, García-Soriano, Kourtellis, Serafini -- ICDE
+2015).
+
+Quickstart::
+
+    import numpy as np
+    from repro import PartialKeyGrouping, KeyGrouping, ZipfKeyDistribution
+    from repro.simulation import simulate_stream
+
+    keys = ZipfKeyDistribution(1.5, 10_000).sample(100_000, np.random.default_rng(7))
+    pkg = simulate_stream(keys, PartialKeyGrouping(num_workers=10))
+    kg = simulate_stream(keys, KeyGrouping(num_workers=10))
+    print(pkg.average_imbalance, "<<", kg.average_imbalance)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.hashing import HashFamily, HashFunction
+from repro.partitioning import (
+    KeyGrouping,
+    LeastLoaded,
+    OfflineGreedy,
+    OnlineGreedy,
+    PartialKeyGrouping,
+    Partitioner,
+    RebalancingKeyGrouping,
+    ShuffleGrouping,
+    StaticPoTC,
+)
+from repro.load import (
+    GlobalOracleEstimator,
+    LocalLoadEstimator,
+    ProbingLoadEstimator,
+    WorkerLoadRegistry,
+)
+from repro.streams import (
+    DATASETS,
+    DatasetSpec,
+    DriftingKeyStream,
+    EdgeStream,
+    EmpiricalKeyDistribution,
+    KeyDistribution,
+    LogNormalKeyDistribution,
+    Message,
+    UniformKeyDistribution,
+    ZipfKeyDistribution,
+    get_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HashFamily",
+    "HashFunction",
+    "Partitioner",
+    "KeyGrouping",
+    "ShuffleGrouping",
+    "PartialKeyGrouping",
+    "StaticPoTC",
+    "OnlineGreedy",
+    "OfflineGreedy",
+    "LeastLoaded",
+    "RebalancingKeyGrouping",
+    "WorkerLoadRegistry",
+    "GlobalOracleEstimator",
+    "LocalLoadEstimator",
+    "ProbingLoadEstimator",
+    "Message",
+    "KeyDistribution",
+    "ZipfKeyDistribution",
+    "LogNormalKeyDistribution",
+    "UniformKeyDistribution",
+    "EmpiricalKeyDistribution",
+    "DriftingKeyStream",
+    "EdgeStream",
+    "DatasetSpec",
+    "DATASETS",
+    "get_dataset",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Theory of Section IV: the chromatic balls-and-bins process.
+
+* :mod:`repro.analysis.measures` -- the mu_r measures of bin subsets,
+  overpopulated-set detection, and the expected-used-bins formula.
+* :mod:`repro.analysis.bounds` -- the imbalance bounds of Theorems 4.1
+  and 4.2 and the feasibility thresholds.
+* :mod:`repro.analysis.chromatic` -- the Greedy-d process itself, run
+  explicitly for empirical verification of the theorems.
+"""
+
+from repro.analysis.measures import (
+    expected_used_bins,
+    find_overpopulated_sets,
+    mu_measure,
+)
+from repro.analysis.bounds import (
+    feasible_workers,
+    imbalance_lower_bound_hot_key,
+    imbalance_upper_bound,
+    max_useful_choices,
+    satisfies_theorem_hypothesis,
+)
+from repro.analysis.chromatic import ChromaticBallsAndBins, greedy_d_imbalance
+from repro.analysis.estimation import (
+    TransitionReport,
+    find_transition_workers,
+    fit_imbalance_growth,
+)
+
+__all__ = [
+    "TransitionReport",
+    "find_transition_workers",
+    "fit_imbalance_growth",
+    "mu_measure",
+    "find_overpopulated_sets",
+    "expected_used_bins",
+    "imbalance_upper_bound",
+    "imbalance_lower_bound_hot_key",
+    "feasible_workers",
+    "satisfies_theorem_hypothesis",
+    "max_useful_choices",
+    "ChromaticBallsAndBins",
+    "greedy_d_imbalance",
+]

@@ -1,0 +1,107 @@
+"""Imbalance bounds and feasibility thresholds (Theorems 4.1 / 4.2).
+
+Theorem 4.1 (upper bound): with n bins, m >= n^2 messages and
+``p1 <= 1/(5n)``, the Greedy-d imbalance satisfies w.h.p.::
+
+    I(m) = O( m/n * ln n / ln ln n )   if d = 1
+    I(m) = O( m/n )                    if d >= 2
+
+Theorem 4.2 shows both are tight (uniform distribution over 5n keys).
+The exponential gap between one and two choices, and the absence of
+more than constant-factor gains beyond d = 2, are what justify PKG's
+d = 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def imbalance_upper_bound(
+    num_messages: int, num_bins: int, num_choices: int = 2, constant: float = 1.0
+) -> float:
+    """The Theorem 4.1 bound shape (up to its hidden constant).
+
+    Returns ``constant * m/n * ln n / ln ln n`` for d = 1 and
+    ``constant * m/n`` for d >= 2.  For ``n <= e`` (where ln ln n is
+    undefined or non-positive) the single-choice factor degrades to 1.
+    """
+    if num_messages < 0:
+        raise ValueError(f"num_messages must be >= 0, got {num_messages}")
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    if num_choices < 1:
+        raise ValueError(f"num_choices must be >= 1, got {num_choices}")
+    base = constant * num_messages / num_bins
+    if num_choices >= 2:
+        return base
+    log_n = math.log(num_bins)
+    log_log_n = math.log(log_n) if log_n > 1 else 1.0
+    return base * max(log_n / max(log_log_n, 1e-12), 1.0)
+
+
+def imbalance_lower_bound_hot_key(
+    num_messages: int, num_bins: int, p1: float, num_choices: int = 2
+) -> float:
+    """Linear-in-m lower bound when the hot key saturates its choices.
+
+    Section IV: the d bins holding the hottest key jointly receive at
+    least ``p1 * m`` messages, so their expected maximum grows at rate
+    ``>= p1/d`` while the average grows at ``1/n``; if ``p1 > d/n`` the
+    imbalance is at least ``(p1/d - 1/n) m`` *for any placement scheme*.
+    Returns 0 when the distribution is feasible (``p1 <= d/n``).
+    """
+    if not 0.0 <= p1 <= 1.0:
+        raise ValueError(f"p1 must be in [0, 1], got {p1}")
+    rate = p1 / num_choices - 1.0 / num_bins
+    return max(0.0, rate * num_messages)
+
+
+def feasible_workers(p1: float, num_choices: int = 2) -> int:
+    """Largest worker count for which good balance is possible: ``d/p1``.
+
+    Beyond this, :func:`imbalance_lower_bound_hot_key` is positive and
+    imbalance grows linearly in m no matter the scheme -- the "binary"
+    transition observed around W = 50 (WP) and W = 100 (TW) in Table II.
+    """
+    if p1 <= 0:
+        raise ValueError(f"p1 must be positive, got {p1}")
+    return int(math.floor(num_choices / p1))
+
+
+def satisfies_theorem_hypothesis(
+    num_messages: int, num_bins: int, p1: float
+) -> bool:
+    """Whether (m, n, p1) meet Theorem 4.1's hypotheses.
+
+    Requires ``m >= n^2`` and ``p1 <= 1/(5n)``.
+    """
+    return num_messages >= num_bins**2 and p1 <= 1.0 / (5.0 * num_bins)
+
+
+def max_useful_choices(num_bins: int) -> int:
+    """The d beyond which Greedy-d degenerates to shuffle grouping.
+
+    Section IV: "when d >> n ln n, all n bins are valid choices, and we
+    obtain shuffle grouping".  Returns ``ceil(n ln n)`` as that scale.
+    """
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    if num_bins == 1:
+        return 1
+    return int(math.ceil(num_bins * math.log(num_bins)))
+
+
+def single_choice_expected_maximum(num_messages: int, num_bins: int) -> float:
+    """Classic expected maximum load for single-choice placement.
+
+    For m >= n ln n uniform single-choice throws the maximum load is
+    ``m/n + Theta(sqrt(m ln n / n))`` -- used as a sanity anchor when
+    validating the d = 1 row of the theorem empirically.
+    """
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    mean = num_messages / num_bins
+    if num_bins == 1:
+        return float(mean)
+    return mean + math.sqrt(2.0 * mean * math.log(num_bins))

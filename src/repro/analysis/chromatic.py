@@ -1,0 +1,119 @@
+"""The chromatic balls-and-bins process of Section IV, run explicitly.
+
+Keys are colors, messages are colored balls, workers are bins.  The
+Greedy-d scheme places ball t (color ``k_t``) into the least-loaded bin
+among ``H1(k_t) .. Hd(k_t)``; with key splitting no per-color choice is
+remembered.  This module runs the process end to end so the theorems can
+be checked empirically (``benchmarks/bench_theory_bounds.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hashing import HashFamily
+from repro.streams.distributions import KeyDistribution, UniformKeyDistribution
+
+
+@dataclass
+class ChromaticResult:
+    """Outcome of one Greedy-d run."""
+
+    num_bins: int
+    num_choices: int
+    num_balls: int
+    loads: np.ndarray
+
+    @property
+    def max_load(self) -> float:
+        return float(self.loads.max())
+
+    @property
+    def imbalance(self) -> float:
+        return float(self.loads.max() - self.loads.mean())
+
+    @property
+    def normalized_imbalance(self) -> float:
+        """Imbalance in units of m/n (the theorem's natural scale)."""
+        if self.num_balls == 0:
+            return 0.0
+        return self.imbalance / (self.num_balls / self.num_bins)
+
+
+class ChromaticBallsAndBins:
+    """Run the Greedy-d process for a given color distribution.
+
+    Parameters
+    ----------
+    num_bins:
+        n, the number of bins (workers).
+    num_choices:
+        d; 1 models hash key grouping, 2 models PKG.
+    distribution:
+        Color distribution D; defaults to the uniform distribution over
+        ``5 n`` colors -- exactly the extremal instance of Theorem 4.2.
+    seed:
+        Seeds both the hash family and the ball colors.
+    """
+
+    def __init__(
+        self,
+        num_bins: int,
+        num_choices: int = 2,
+        distribution: Optional[KeyDistribution] = None,
+        seed: int = 0,
+    ):
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+        if num_choices < 1:
+            raise ValueError(f"num_choices must be >= 1, got {num_choices}")
+        self.num_bins = int(num_bins)
+        self.num_choices = int(num_choices)
+        self.distribution = distribution or UniformKeyDistribution(5 * num_bins)
+        self.seed = int(seed)
+        self.family = HashFamily(size=num_choices, seed=seed)
+
+    def run(self, num_balls: int) -> ChromaticResult:
+        """Throw ``num_balls`` colored balls and return the final loads."""
+        rng = np.random.default_rng(self.seed + 1)
+        colors = self.distribution.sample(num_balls, rng)
+        loads = np.zeros(self.num_bins, dtype=np.int64)
+
+        if self.num_choices == 1:
+            # Single choice is fully determined by the hashes: vectorize.
+            bins = self.family[0].bucket_array(colors, self.num_bins)
+            loads += np.bincount(bins, minlength=self.num_bins)
+            return ChromaticResult(self.num_bins, 1, num_balls, loads)
+
+        choices = self.family.choice_matrix(colors, self.num_bins)
+        cols = [choices[:, j].tolist() for j in range(self.num_choices)]
+        load_list = [0] * self.num_bins
+        if self.num_choices == 2:
+            c1, c2 = cols
+            for i in range(num_balls):
+                a, b = c1[i], c2[i]
+                w = a if load_list[a] <= load_list[b] else b
+                load_list[w] += 1
+        else:
+            for i in range(num_balls):
+                w = min((col[i] for col in cols), key=load_list.__getitem__)
+                load_list[w] += 1
+        loads += np.asarray(load_list, dtype=np.int64)
+        return ChromaticResult(self.num_bins, self.num_choices, num_balls, loads)
+
+
+def greedy_d_imbalance(
+    num_bins: int,
+    num_balls: int,
+    num_choices: int,
+    distribution: Optional[KeyDistribution] = None,
+    seed: int = 0,
+) -> float:
+    """Convenience wrapper: final imbalance of one Greedy-d run."""
+    process = ChromaticBallsAndBins(
+        num_bins, num_choices, distribution=distribution, seed=seed
+    )
+    return process.run(num_balls).imbalance

@@ -1,0 +1,120 @@
+"""The mu_r measures of bin subsets (Section IV-B).
+
+For a set of bins ``B`` and ``1 <= r <= d``::
+
+    mu_r(B) = sum { p_i : {H1(i), ..., Hr(i)} subseteq B }
+
+``mu_1(B)`` is the probability that a random key has its *first* choice
+in B; ``mu_d(B)`` the probability that *all* its choices fall in B.  A
+set is *overpopulated* when ``mu_d(B) > |B| / n``: keys trapped inside B
+arrive faster than B's fair share of capacity, so the average load in B
+must outgrow the global average -- the paper's second counterexample
+(the ~0.135 n unused bins under a uniform distribution).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing import HashFamily
+from repro.streams.distributions import KeyDistribution
+
+
+def choice_table(
+    distribution: KeyDistribution, family: HashFamily, num_bins: int
+) -> np.ndarray:
+    """``(K, d)`` matrix of each key's hash choices among the bins."""
+    keys = np.arange(distribution.num_keys, dtype=np.int64)
+    return family.choice_matrix(keys, num_bins)
+
+
+def mu_measure(
+    bins: Sequence[int],
+    distribution: KeyDistribution,
+    family: HashFamily,
+    num_bins: int,
+    r: int = None,
+    choices: np.ndarray = None,
+) -> float:
+    """``mu_r(B)`` for bin set ``B``; ``r`` defaults to d (all choices).
+
+    ``choices`` may carry a precomputed :func:`choice_table` to amortise
+    hashing across many subset queries.
+    """
+    if r is None:
+        r = len(family)
+    if not 1 <= r <= len(family):
+        raise ValueError(f"r must be in [1, {len(family)}], got {r}")
+    if choices is None:
+        choices = choice_table(distribution, family, num_bins)
+    member = np.zeros(num_bins, dtype=bool)
+    member[np.asarray(list(bins), dtype=np.int64)] = True
+    inside = member[choices[:, :r]].all(axis=1)
+    return float(distribution.probabilities[inside].sum())
+
+
+def find_overpopulated_sets(
+    distribution: KeyDistribution,
+    family: HashFamily,
+    num_bins: int,
+    max_size: int = 3,
+    slack: float = 1.0,
+) -> List[Tuple[Tuple[int, ...], float]]:
+    """Bin subsets B with ``mu_d(B) > slack * |B| / n``.
+
+    Exhaustive over subsets up to ``max_size`` (exponential; keep n
+    small) plus the greedy heavy-prefix candidate of any size: bins
+    sorted by mu_1({j}) descending, testing each prefix.  Returns
+    ``[(bins, mu_d(B)), ...]`` sorted by excess.
+    """
+    choices = choice_table(distribution, family, num_bins)
+    found: List[Tuple[Tuple[int, ...], float]] = []
+
+    def check(subset: Tuple[int, ...]) -> None:
+        mu = mu_measure(
+            subset, distribution, family, num_bins, choices=choices
+        )
+        if mu > slack * len(subset) / num_bins:
+            found.append((subset, mu))
+
+    for size in range(1, max_size + 1):
+        for subset in combinations(range(num_bins), size):
+            check(subset)
+
+    singles = np.array(
+        [
+            mu_measure((j,), distribution, family, num_bins, r=1, choices=choices)
+            for j in range(num_bins)
+        ]
+    )
+    order = np.argsort(singles)[::-1]
+    for size in range(max_size + 1, num_bins):
+        check(tuple(int(j) for j in order[:size]))
+
+    found.sort(key=lambda bm: -(bm[1] - len(bm[0]) / num_bins))
+    return found
+
+
+def expected_used_bins(num_bins: int, num_keys: int, num_choices: int = 2) -> float:
+    """Expected number of bins reachable by at least one key's choice.
+
+    Section IV's example: for the uniform distribution over n keys with
+    d = 2, ``E[|B|] = n - n (1 - 1/n)^{2n} ~ n (1 - e^-2) ~ 0.865 n`` --
+    about 13.5% of bins are unreachable, which alone forces imbalance
+    ``~0.156 m``.
+    """
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    miss = (1.0 - 1.0 / num_bins) ** (num_choices * num_keys)
+    return num_bins * (1.0 - miss)
+
+
+def used_bins(
+    distribution: KeyDistribution, family: HashFamily, num_bins: int
+) -> np.ndarray:
+    """The actual set of bins reachable under a concrete hash family."""
+    choices = choice_table(distribution, family, num_bins)
+    return np.unique(choices)

@@ -1,0 +1,27 @@
+"""The Section VI applications, built on the partitioning substrate.
+
+Each application demonstrates the paper's trade-off triangle between
+key grouping (KG), shuffle grouping (SG) and PARTIAL KEY GROUPING (PKG):
+
+* :mod:`wordcount` -- streaming top-k word count (the paper's running
+  example and the Q4 deployment workload);
+* :mod:`naive_bayes` -- naive Bayes with vertical parallelism; PKG
+  gives balanced load with 2-probe queries instead of broadcasts;
+* :mod:`decision_tree` -- the Ben-Haim & Tom-Tov streaming parallel
+  decision tree; PKG cuts the histogram count from W*D*C*L to 2*D*C*L;
+* :mod:`heavy_hitters` -- SPACESAVING heavy hitters; PKG's merged
+  error involves two summaries regardless of W.
+"""
+
+from repro.applications.wordcount import DistributedWordCount, exact_top_k
+from repro.applications.naive_bayes import DistributedNaiveBayes
+from repro.applications.decision_tree import StreamingParallelDecisionTree
+from repro.applications.heavy_hitters import DistributedHeavyHitters
+
+__all__ = [
+    "DistributedWordCount",
+    "exact_top_k",
+    "DistributedNaiveBayes",
+    "StreamingParallelDecisionTree",
+    "DistributedHeavyHitters",
+]

@@ -1,0 +1,344 @@
+"""Streaming parallel decision tree -- SPDT (Section VI-B).
+
+Ben-Haim & Tom-Tov's algorithm: workers build approximate histograms,
+one per (leaf, feature, class) triplet, over their share of the stream;
+an aggregator periodically merges the per-worker partial histograms,
+evaluates candidate split points, and grows the tree.
+
+Parallelism modes (the paper's comparison):
+
+* **SG** -- instances are shuffled to workers; every worker may hold a
+  histogram for every triplet, so the system keeps up to ``W*D*C*L``
+  histograms and the aggregator merges W partials per triplet;
+* **PKG** -- each *feature* is a key routed to its two hash candidates,
+  so a triplet's partials live on at most two workers: ``2*D*C*L``
+  histograms and two-way merges, independent of W.
+* **KG** -- one worker per feature: minimal memory, but skewed feature
+  popularity (sparse data) imbalances the load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.partitioning.base import Partitioner
+from repro.partitioning.shuffle import ShuffleGrouping
+from repro.sketches.histogram import StreamingHistogram
+
+
+@dataclass
+class TreeNode:
+    """One node of the decision tree."""
+
+    node_id: int
+    depth: int
+    #: class -> sample count since this node became a leaf
+    class_counts: Dict = field(default_factory=dict)
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    @property
+    def total(self) -> int:
+        return sum(self.class_counts.values())
+
+    def majority_class(self):
+        if not self.class_counts:
+            return None
+        return max(self.class_counts.items(), key=lambda kv: (kv[1], repr(kv[0])))[0]
+
+
+def entropy(class_counts: Dict) -> float:
+    """Shannon entropy (nats) of a class-count mapping."""
+    total = sum(class_counts.values())
+    if total <= 0:
+        return 0.0
+    h = 0.0
+    for c in class_counts.values():
+        if c > 0:
+            p = c / total
+            h -= p * math.log(p)
+    return h
+
+
+@dataclass
+class SPDTStats:
+    """Cost accounting for the SPDT comparison of Section VI-B."""
+
+    instances: int = 0
+    feature_messages: int = 0
+    #: histogram merge operations performed during split decisions
+    merge_operations: int = 0
+    splits: int = 0
+    split_attempts: int = 0
+
+
+class StreamingParallelDecisionTree:
+    """SPDT over W workers with a pluggable feature partitioner.
+
+    Parameters
+    ----------
+    partitioner:
+        Routes feature keys (ints ``0..num_features-1``) to workers;
+        a :class:`ShuffleGrouping` instance selects instance-shuffling
+        (horizontal) mode instead.
+    num_features / num_classes:
+        Data dimensions D and C.
+    max_bins:
+        Histogram budget per (leaf, feature, class) triplet.
+    split_candidates:
+        Number of candidate thresholds evaluated per feature
+        (the ``uniform`` procedure's B-tilde).
+    split_period:
+        Attempt splits every this many instances.
+    min_samples_split / max_depth / min_gain:
+        Growth controls.
+    """
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        num_features: int,
+        num_classes: int,
+        max_bins: int = 32,
+        split_candidates: int = 10,
+        split_period: int = 500,
+        min_samples_split: int = 100,
+        max_depth: int = 6,
+        min_gain: float = 1e-3,
+    ):
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        self.partitioner = partitioner
+        self.num_workers = partitioner.num_workers
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        self.max_bins = int(max_bins)
+        self.split_candidates = int(split_candidates)
+        self.split_period = int(split_period)
+        self.min_samples_split = int(min_samples_split)
+        self.max_depth = int(max_depth)
+        self.min_gain = float(min_gain)
+
+        self._horizontal = isinstance(partitioner, ShuffleGrouping)
+        self.root = TreeNode(node_id=0, depth=0)
+        self._next_node_id = 1
+        self._leaves: Dict[int, TreeNode] = {0: self.root}
+        #: per-worker histograms: (leaf_id, feature, class) -> histogram
+        self.worker_histograms: List[Dict] = [
+            dict() for _ in range(self.num_workers)
+        ]
+        self.stats = SPDTStats()
+        self._since_split = 0
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, x: Sequence[float]) -> TreeNode:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def _update_histogram(self, worker: int, key: Tuple, value: float) -> None:
+        hists = self.worker_histograms[worker]
+        hist = hists.get(key)
+        if hist is None:
+            hist = hists[key] = StreamingHistogram(self.max_bins)
+        hist.update(value)
+
+    def ingest(self, x: Sequence[float], y) -> None:
+        """Absorb one labelled instance into the distributed model."""
+        leaf = self._find_leaf(x)
+        leaf.class_counts[y] = leaf.class_counts.get(y, 0) + 1
+        self.stats.instances += 1
+
+        if self._horizontal:
+            # The whole instance goes to one worker (round robin).
+            worker = self.partitioner.route(None)
+            for f in range(self.num_features):
+                self._update_histogram(worker, (leaf.node_id, f, y), x[f])
+                self.stats.feature_messages += 1
+        else:
+            # One message per feature, keyed by the feature id.
+            for f in range(self.num_features):
+                worker = self.partitioner.route(f)
+                self._update_histogram(worker, (leaf.node_id, f, y), x[f])
+                self.stats.feature_messages += 1
+
+        self._since_split += 1
+        if self._since_split >= self.split_period:
+            self._since_split = 0
+            self.try_splits()
+
+    def fit_stream(self, X: np.ndarray, y: Sequence) -> None:
+        """Ingest a whole batch as a stream, then attempt final splits."""
+        for xi, yi in zip(np.asarray(X), y):
+            self.ingest(xi, yi)
+        self.try_splits()
+
+    # ------------------------------------------------------------------
+    # growing
+    # ------------------------------------------------------------------
+
+    def _merged_histograms(
+        self, leaf_id: int, feature: int
+    ) -> Dict[object, StreamingHistogram]:
+        """Merge per-worker partials into one histogram per class."""
+        per_class: Dict[object, StreamingHistogram] = {}
+        for hists in self.worker_histograms:
+            for (lid, f, cls), hist in hists.items():
+                if lid != leaf_id or f != feature:
+                    continue
+                if cls in per_class:
+                    per_class[cls] = per_class[cls].merge(hist)
+                    self.stats.merge_operations += 1
+                else:
+                    per_class[cls] = hist
+        return per_class
+
+    def _best_split(self, leaf: TreeNode) -> Optional[Tuple[int, float, float]]:
+        """(feature, threshold, gain) maximising information gain."""
+        parent_entropy = entropy(leaf.class_counts)
+        total = leaf.total
+        best: Optional[Tuple[int, float, float]] = None
+        for f in range(self.num_features):
+            per_class = self._merged_histograms(leaf.node_id, f)
+            if not per_class:
+                continue
+            overall: Optional[StreamingHistogram] = None
+            for hist in per_class.values():
+                overall = hist if overall is None else overall.merge(hist)
+            for t in overall.uniform(self.split_candidates):
+                left_counts = {
+                    cls: hist.sum(t) for cls, hist in per_class.items()
+                }
+                left_total = sum(left_counts.values())
+                right_total = total - left_total
+                if left_total < 1 or right_total < 1:
+                    continue
+                right_counts = {
+                    cls: leaf.class_counts.get(cls, 0) - cnt
+                    for cls, cnt in left_counts.items()
+                }
+                gain = parent_entropy - (
+                    left_total / total * entropy(left_counts)
+                    + right_total / total * entropy(right_counts)
+                )
+                if gain > self.min_gain and (best is None or gain > best[2]):
+                    best = (f, float(t), float(gain))
+        return best
+
+    def try_splits(self) -> int:
+        """Attempt to split every eligible leaf; returns splits made."""
+        made = 0
+        for leaf_id in list(self._leaves):
+            leaf = self._leaves[leaf_id]
+            if leaf.total < self.min_samples_split:
+                continue
+            if leaf.depth >= self.max_depth:
+                continue
+            if len(leaf.class_counts) < 2:
+                continue
+            self.stats.split_attempts += 1
+            best = self._best_split(leaf)
+            if best is None:
+                continue
+            feature, threshold, _gain = best
+            self._split_leaf(leaf, feature, threshold)
+            made += 1
+        return made
+
+    def _split_leaf(self, leaf: TreeNode, feature: int, threshold: float) -> None:
+        leaf.feature = feature
+        leaf.threshold = threshold
+        leaf.left = TreeNode(node_id=self._next_node_id, depth=leaf.depth + 1)
+        leaf.right = TreeNode(node_id=self._next_node_id + 1, depth=leaf.depth + 1)
+        # Children inherit the majority information via fresh counts;
+        # SPDT restarts statistics below a split.
+        self._next_node_id += 2
+        del self._leaves[leaf.node_id]
+        self._leaves[leaf.left.node_id] = leaf.left
+        self._leaves[leaf.right.node_id] = leaf.right
+        # Drop the split leaf's histograms from every worker.
+        for hists in self.worker_histograms:
+            stale = [k for k in hists if k[0] == leaf.node_id]
+            for k in stale:
+                del hists[k]
+        self.stats.splits += 1
+
+    # ------------------------------------------------------------------
+    # inference and accounting
+    # ------------------------------------------------------------------
+
+    def predict(self, x: Sequence[float]):
+        """Predicted class for one instance."""
+        node = self._find_leaf(x)
+        label = node.majority_class()
+        if label is None:
+            # Fresh leaf after a split: fall back to its parent path by
+            # using the global majority.
+            label = self._global_majority()
+        return label
+
+    def predict_batch(self, X: np.ndarray) -> list:
+        return [self.predict(x) for x in np.asarray(X)]
+
+    def _global_majority(self):
+        counts: Dict = {}
+        for leaf in self._leaves.values():
+            for cls, c in leaf.class_counts.items():
+                counts[cls] = counts.get(cls, 0) + c
+        if not counts:
+            return None
+        return max(counts.items(), key=lambda kv: (kv[1], repr(kv[0])))[0]
+
+    def accuracy(self, X: np.ndarray, y: Sequence) -> float:
+        predictions = self.predict_batch(X)
+        y = list(y)
+        if not y:
+            return 0.0
+        return sum(p == t for p, t in zip(predictions, y)) / len(y)
+
+    def histogram_count(self) -> int:
+        """Live histograms across all workers.
+
+        The Section VI-B memory comparison: up to ``W*D*C*L`` under
+        shuffle grouping but at most ``2*D*C*L`` under PKG.
+        """
+        return sum(len(h) for h in self.worker_histograms)
+
+    def histogram_bound(self) -> int:
+        """The scheme's worst-case histogram count for the current tree."""
+        L = len(self._leaves)
+        replicas = self.num_workers if self._horizontal else min(
+            2, self.num_workers
+        )
+        return replicas * self.num_features * self.num_classes * L
+
+    def worker_loads(self) -> List[int]:
+        """Feature messages absorbed per worker (for balance checks)."""
+        loads = [0] * self.num_workers
+        for w, hists in enumerate(self.worker_histograms):
+            loads[w] = int(sum(h.total for h in hists.values()))
+        return loads
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def depth(self) -> int:
+        return max((leaf.depth for leaf in self._leaves.values()), default=0)

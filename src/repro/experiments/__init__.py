@@ -1,0 +1,59 @@
+"""Experiment harnesses: one per table/figure of the paper.
+
+Each module exposes ``run_*`` (returns structured rows) and
+``format_*`` (renders the paper-style table).  The CLI
+(``python -m repro.experiments <experiment>``) runs any of them;
+``benchmarks/`` wraps each in a pytest-benchmark target.
+
+========  =====================================================
+table1    dataset summary (messages, keys, p1)
+table2    avg imbalance: PKG vs greedy/PoTC/hashing, WP and TW
+fig2      imbalance fraction vs workers: H vs G vs L5..L20
+fig3      imbalance fraction through time: G vs L5 vs L5P1
+fig4      uniform vs skewed source splits on graph streams
+fig5a     cluster throughput/latency vs per-key CPU delay
+fig5b     cluster throughput vs memory across aggregation periods
+extras    Jaccard(G, L), d-choices ablation, probing ablation
+========  =====================================================
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5a import format_fig5a, run_fig5a
+from repro.experiments.fig5b import format_fig5b, run_fig5b
+from repro.experiments.extras import (
+    format_dchoices,
+    format_jaccard,
+    format_probing,
+    run_dchoices_ablation,
+    run_jaccard,
+    run_probing_ablation,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "run_fig2",
+    "format_fig2",
+    "run_fig3",
+    "format_fig3",
+    "run_fig4",
+    "format_fig4",
+    "run_fig5a",
+    "format_fig5a",
+    "run_fig5b",
+    "format_fig5b",
+    "run_jaccard",
+    "format_jaccard",
+    "run_dchoices_ablation",
+    "format_dchoices",
+    "run_probing_ablation",
+    "format_probing",
+]

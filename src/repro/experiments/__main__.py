@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Runs one experiment harness (or ``all``) and prints the paper-style
+table.  ``--scale`` shrinks/extends the stream lengths; the scales used
+for the recorded results are noted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_dchoices,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5a,
+    format_fig5b,
+    format_jaccard,
+    format_probing,
+    format_table1,
+    format_table2,
+    run_dchoices_ablation,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+    run_jaccard,
+    run_probing_ablation,
+    run_table1,
+    run_table2,
+)
+
+EXPERIMENTS = {
+    "table1": lambda cfg: format_table1(run_table1(cfg)),
+    "table2": lambda cfg: format_table2(run_table2(cfg)),
+    "fig2": lambda cfg: format_fig2(run_fig2(cfg)),
+    "fig3": lambda cfg: format_fig3(run_fig3(cfg)),
+    "fig4": lambda cfg: format_fig4(run_fig4(cfg)),
+    "fig5a": lambda cfg: format_fig5a(run_fig5a(cfg)),
+    "fig5b": lambda cfg: format_fig5b(run_fig5b(cfg)),
+    "jaccard": lambda cfg: format_jaccard(run_jaccard(cfg)),
+    "dchoices": lambda cfg: format_dchoices(run_dchoices_ablation(cfg)),
+    "probing": lambda cfg: format_probing(run_probing_ablation(cfg)),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="stream-length multiplier (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(EXPERIMENTS[name](config))
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Shared experiment configuration and table formatting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment harnesses.
+
+    ``scale`` multiplies each dataset's default (already laptop-scaled)
+    message count; benchmarks run at ``scale < 1`` for speed, the CLI
+    defaults to 1.  EXPERIMENTS.md records the scale used for the
+    recorded numbers.
+    """
+
+    scale: float = 1.0
+    seed: int = 42
+    workers: Sequence[int] = (5, 10, 50, 100)
+    sources: Sequence[int] = (5, 10, 15, 20)
+    num_checkpoints: int = 50
+    #: DSPE simulated seconds per Figure 5 run
+    cluster_duration: float = 20.0
+    cluster_warmup: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def messages_for(self, spec) -> int:
+        """Scaled stream length for a dataset spec (at least 10k)."""
+        return max(10_000, int(spec.default_messages * self.scale))
+
+
+def format_table(
+    headers: List[str], rows: List[Sequence], title: Optional[str] = None
+) -> str:
+    """Plain-text table renderer used by every ``format_*``."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "  ".join("-" * w for w in widths)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sci(x: float) -> str:
+    """Compact scientific/plain rendering matching the paper's tables.
+
+    Table II prints small imbalances plainly (``0.8``) and large ones in
+    scientific notation (``1.6e6``).
+    """
+    if x == 0:
+        return "0"
+    if abs(x) >= 1e4:
+        return f"{x:.1e}"
+    if abs(x) >= 10:
+        return f"{x:.1f}"
+    return f"{x:.2g}"

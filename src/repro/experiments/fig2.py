@@ -1,0 +1,120 @@
+"""Figure 2: fraction of average imbalance vs number of workers.
+
+Per dataset (TW, WP, CT, LN1, LN2) and worker count W in {5,10,50,100},
+compare hashing (H) against PKG with a global oracle (G) and with local
+estimation at S in {5,10,15,20} sources (L5..L20).
+
+Expected shape: H several orders of magnitude above the PKG variants;
+L within about one order of magnitude of G and insensitive to S; all
+variants collapse together once W exceeds the dataset's O(1/p1) limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig, format_table
+from repro.partitioning import KeyGrouping
+from repro.simulation import simulate_multisource_pkg, simulate_stream
+from repro.streams.datasets import get_dataset
+
+DEFAULT_DATASETS = ("TW", "WP", "CT", "LN1", "LN2")
+
+
+@dataclass
+class Fig2Row:
+    dataset: str
+    technique: str  # "H", "G", "L5", "L10", ...
+    num_workers: int
+    average_imbalance_fraction: float
+    average_imbalance: float
+
+
+def run_fig2(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+) -> List[Fig2Row]:
+    config = config or ExperimentConfig()
+    rows: List[Fig2Row] = []
+    for symbol in datasets:
+        spec = get_dataset(symbol)
+        keys = spec.stream(config.messages_for(spec), seed=config.seed)
+        for w in config.workers:
+            hashing = simulate_stream(
+                keys,
+                KeyGrouping(w, seed=config.seed),
+                num_checkpoints=config.num_checkpoints,
+            )
+            rows.append(
+                Fig2Row(
+                    dataset=symbol,
+                    technique="H",
+                    num_workers=w,
+                    average_imbalance_fraction=hashing.average_imbalance_fraction,
+                    average_imbalance=hashing.average_imbalance,
+                )
+            )
+            oracle = simulate_multisource_pkg(
+                keys,
+                num_workers=w,
+                num_sources=5,
+                mode="global",
+                seed=config.seed,
+                num_checkpoints=config.num_checkpoints,
+            )
+            rows.append(
+                Fig2Row(
+                    dataset=symbol,
+                    technique="G",
+                    num_workers=w,
+                    average_imbalance_fraction=oracle.average_imbalance_fraction,
+                    average_imbalance=oracle.average_imbalance,
+                )
+            )
+            for s in config.sources:
+                local = simulate_multisource_pkg(
+                    keys,
+                    num_workers=w,
+                    num_sources=s,
+                    mode="local",
+                    seed=config.seed,
+                    num_checkpoints=config.num_checkpoints,
+                )
+                rows.append(
+                    Fig2Row(
+                        dataset=symbol,
+                        technique=f"L{s}",
+                        num_workers=w,
+                        average_imbalance_fraction=local.average_imbalance_fraction,
+                        average_imbalance=local.average_imbalance,
+                    )
+                )
+    return rows
+
+
+def format_fig2(rows: List[Fig2Row]) -> str:
+    datasets = list(dict.fromkeys(r.dataset for r in rows))
+    workers = sorted({r.num_workers for r in rows})
+    techniques = list(dict.fromkeys(r.technique for r in rows))
+    by_key: Dict = {
+        (r.dataset, r.technique, r.num_workers): r.average_imbalance_fraction
+        for r in rows
+    }
+    blocks = []
+    for d in datasets:
+        table_rows = []
+        for t in techniques:
+            row = [t]
+            for w in workers:
+                v = by_key.get((d, t, w))
+                row.append("-" if v is None else f"{v:.2e}")
+            table_rows.append(row)
+        blocks.append(
+            format_table(
+                ["tech"] + [f"W={w}" for w in workers],
+                table_rows,
+                title=f"Figure 2 [{d}]: fraction of average imbalance",
+            )
+        )
+    return "\n\n".join(blocks)

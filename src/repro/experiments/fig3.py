@@ -1,0 +1,118 @@
+"""Figure 3: fraction of imbalance through time.
+
+For TW and WP (W = 10 and 50) and the drifting CT dataset, track
+``I(t) / t`` over the stream under three techniques with S = 5 sources:
+the global oracle (G), local estimation (L5), and local estimation with
+periodic probing every simulated minute (L5P1).
+
+Expected shape: G and L5 indistinguishable; probing adds nothing; CT's
+drift causes occasional spikes that all techniques absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, format_table
+from repro.simulation import simulate_multisource_pkg
+from repro.streams.datasets import get_dataset
+
+#: dataset -> simulated stream span in hours (mirrors the paper's x-axes)
+STREAM_HOURS = {"TW": 30.0, "WP": 40.0, "CT": 600.0}
+
+DEFAULT_CASES: Tuple[Tuple[str, int], ...] = (
+    ("TW", 10),
+    ("TW", 50),
+    ("WP", 10),
+    ("WP", 50),
+    ("CT", 10),
+    ("CT", 50),
+)
+
+
+@dataclass
+class Fig3Series:
+    dataset: str
+    technique: str
+    num_workers: int
+    #: checkpoint times in hours
+    hours: np.ndarray = field(repr=False)
+    #: I(t) / messages-so-far at each checkpoint
+    imbalance_fraction: np.ndarray = field(repr=False)
+
+    @property
+    def final_fraction(self) -> float:
+        return float(self.imbalance_fraction[-1])
+
+    @property
+    def mean_fraction(self) -> float:
+        return float(self.imbalance_fraction.mean())
+
+
+def run_fig3(
+    config: Optional[ExperimentConfig] = None,
+    cases: Sequence[Tuple[str, int]] = DEFAULT_CASES,
+    num_sources: int = 5,
+    probe_minutes: float = 1.0,
+) -> List[Fig3Series]:
+    config = config or ExperimentConfig()
+    out: List[Fig3Series] = []
+    for symbol, w in cases:
+        spec = get_dataset(symbol)
+        messages = config.messages_for(spec)
+        keys = spec.stream(messages, seed=config.seed)
+        hours = STREAM_HOURS.get(symbol, 30.0)
+        # Timestamps in minutes, spread uniformly over the span.
+        timestamps = np.linspace(0.0, hours * 60.0, messages)
+        runs = (
+            ("G", dict(mode="global")),
+            (f"L{num_sources}", dict(mode="local")),
+            (
+                f"L{num_sources}P1",
+                dict(mode="probing", probe_period=probe_minutes),
+            ),
+        )
+        for name, kwargs in runs:
+            result = simulate_multisource_pkg(
+                keys,
+                num_workers=w,
+                num_sources=num_sources,
+                timestamps=timestamps,
+                seed=config.seed,
+                num_checkpoints=max(config.num_checkpoints, 40),
+                scheme_name=name,
+                **kwargs,
+            )
+            positions = result.checkpoint_positions
+            out.append(
+                Fig3Series(
+                    dataset=symbol,
+                    technique=name,
+                    num_workers=w,
+                    hours=timestamps[np.minimum(positions, messages) - 1] / 60.0,
+                    imbalance_fraction=result.imbalance_fraction_series,
+                )
+            )
+    return out
+
+
+def format_fig3(series: List[Fig3Series]) -> str:
+    table_rows = []
+    for s in series:
+        table_rows.append(
+            [
+                s.dataset,
+                s.num_workers,
+                s.technique,
+                f"{s.mean_fraction:.2e}",
+                f"{s.final_fraction:.2e}",
+            ]
+        )
+    return format_table(
+        ["dataset", "W", "tech", "mean I(t)/t", "final I(m)/m"],
+        table_rows,
+        title="Figure 3: imbalance fraction through time (summary)",
+    )

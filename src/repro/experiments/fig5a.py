@@ -1,0 +1,101 @@
+"""Figure 5(a): cluster throughput and latency vs per-key CPU delay.
+
+Runs the simulated word-count cluster (1 spout + 9 counters, no
+aggregation) for PKG, SG and KG across the paper's CPU-delay sweep
+(0.1 ms to 1 ms).
+
+Expected shape: PKG and SG indistinguishable and above KG everywhere;
+KG saturates around 0.4 ms and loses ~60% of its throughput over the
+tenfold delay increase while PKG/SG lose ~37%; KG's average latency is
+substantially higher once saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dspe import ClusterConfig, run_wordcount
+from repro.experiments.config import ExperimentConfig, format_table
+from repro.streams.datasets import get_dataset
+
+DEFAULT_DELAYS = (0.1e-3, 0.2e-3, 0.4e-3, 0.6e-3, 0.8e-3, 1.0e-3)
+SCHEMES = ("pkg", "sg", "kg")
+
+
+@dataclass
+class Fig5aRow:
+    scheme: str
+    cpu_delay: float
+    throughput: float
+    mean_latency: float
+    p99_latency: float
+    load_imbalance: float
+
+
+def run_fig5a(
+    config: Optional[ExperimentConfig] = None,
+    delays: Sequence[float] = DEFAULT_DELAYS,
+    dataset: str = "WP",
+) -> List[Fig5aRow]:
+    config = config or ExperimentConfig()
+    distribution = get_dataset(dataset).distribution()
+    rows: List[Fig5aRow] = []
+    for delay in delays:
+        for scheme in SCHEMES:
+            cluster_cfg = ClusterConfig(
+                cpu_delay=delay,
+                duration=config.cluster_duration,
+                warmup=config.cluster_warmup,
+                seed=config.seed,
+            )
+            metrics = run_wordcount(scheme, distribution, cluster_cfg)
+            rows.append(
+                Fig5aRow(
+                    scheme=scheme.upper(),
+                    cpu_delay=delay,
+                    throughput=metrics.throughput,
+                    mean_latency=metrics.latency.mean,
+                    p99_latency=metrics.latency.percentile(99),
+                    load_imbalance=metrics.load_imbalance,
+                )
+            )
+    return rows
+
+
+def degradations(rows: List[Fig5aRow]) -> dict:
+    """Relative throughput loss from the lowest to the highest delay.
+
+    The paper's headline: ~60% for KG, ~37% for PKG and SG.
+    """
+    out = {}
+    for scheme in {r.scheme for r in rows}:
+        mine = sorted(
+            (r for r in rows if r.scheme == scheme), key=lambda r: r.cpu_delay
+        )
+        first, last = mine[0].throughput, mine[-1].throughput
+        out[scheme] = 1.0 - last / first if first > 0 else 0.0
+    return out
+
+
+def format_fig5a(rows: List[Fig5aRow]) -> str:
+    table_rows = [
+        [
+            r.scheme,
+            f"{r.cpu_delay * 1e3:.1f}",
+            f"{r.throughput:.0f}",
+            f"{r.mean_latency * 1e3:.2f}",
+            f"{r.p99_latency * 1e3:.2f}",
+        ]
+        for r in sorted(rows, key=lambda r: (r.cpu_delay, r.scheme))
+    ]
+    table = format_table(
+        ["scheme", "delay ms", "keys/s", "mean lat ms", "p99 lat ms"],
+        table_rows,
+        title="Figure 5(a): throughput and latency vs CPU delay",
+    )
+    degr = degradations(rows)
+    footer = "  ".join(
+        f"{s}: -{d * 100:.0f}%" for s, d in sorted(degr.items())
+    )
+    return f"{table}\nthroughput loss over sweep: {footer}"

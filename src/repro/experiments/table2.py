@@ -1,0 +1,112 @@
+"""Table II: average imbalance of PKG vs the key-grouping baselines.
+
+Paper setup: single source, WP and TW, W in {5, 10, 50, 100}; schemes
+PKG, Off-Greedy, On-Greedy, PoTC, Hashing.  The headline shape: hashing
+is orders of magnitude worse; PoTC alone is not enough; PKG matches or
+beats even the offline greedy assignment until W crosses the O(1/p1)
+feasibility threshold, where every scheme degrades ("binary" behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig, format_table, sci
+from repro.partitioning import KeyGrouping, OfflineGreedy, OnlineGreedy, StaticPoTC
+from repro.simulation import simulate_multisource_pkg, simulate_stream
+from repro.streams.datasets import get_dataset
+
+SCHEME_ORDER = ("PKG", "Off-Greedy", "On-Greedy", "PoTC", "H")
+
+
+@dataclass
+class Table2Row:
+    dataset: str
+    scheme: str
+    num_workers: int
+    average_imbalance: float
+    final_imbalance: float
+    num_messages: int
+
+    @property
+    def average_imbalance_fraction(self) -> float:
+        return self.average_imbalance / self.num_messages
+
+
+def _run_scheme(scheme: str, keys, num_workers: int, config: ExperimentConfig):
+    if scheme == "PKG":
+        return simulate_multisource_pkg(
+            keys,
+            num_workers=num_workers,
+            num_sources=1,
+            mode="local",
+            seed=config.seed,
+            num_checkpoints=config.num_checkpoints,
+            scheme_name="PKG",
+        )
+    if scheme == "Off-Greedy":
+        partitioner = OfflineGreedy.from_stream(keys, num_workers)
+    elif scheme == "On-Greedy":
+        partitioner = OnlineGreedy(num_workers)
+    elif scheme == "PoTC":
+        partitioner = StaticPoTC(num_workers, seed=config.seed)
+    elif scheme == "H":
+        partitioner = KeyGrouping(num_workers, seed=config.seed)
+    else:
+        raise ValueError(f"unknown Table II scheme {scheme!r}")
+    return simulate_stream(
+        keys, partitioner, num_checkpoints=config.num_checkpoints
+    )
+
+
+def run_table2(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = ("WP", "TW"),
+    schemes: Sequence[str] = SCHEME_ORDER,
+) -> List[Table2Row]:
+    """Average imbalance of every scheme on every dataset/W pair."""
+    config = config or ExperimentConfig()
+    rows: List[Table2Row] = []
+    for symbol in datasets:
+        spec = get_dataset(symbol)
+        keys = spec.stream(config.messages_for(spec), seed=config.seed)
+        for w in config.workers:
+            for scheme in schemes:
+                result = _run_scheme(scheme, keys, w, config)
+                rows.append(
+                    Table2Row(
+                        dataset=symbol,
+                        scheme=scheme,
+                        num_workers=w,
+                        average_imbalance=result.average_imbalance,
+                        final_imbalance=result.final_imbalance,
+                        num_messages=result.num_messages,
+                    )
+                )
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    datasets = sorted({r.dataset for r in rows})
+    workers = sorted({r.num_workers for r in rows})
+    schemes = [s for s in SCHEME_ORDER if any(r.scheme == s for r in rows)]
+    by_key: Dict = {
+        (r.dataset, r.scheme, r.num_workers): r.average_imbalance for r in rows
+    }
+    headers = ["Scheme"] + [
+        f"{d} W={w}" for d in datasets for w in workers
+    ]
+    table_rows = []
+    for scheme in schemes:
+        row = [scheme]
+        for d in datasets:
+            for w in workers:
+                value = by_key.get((d, scheme, w))
+                row.append("-" if value is None else sci(value))
+        table_rows.append(row)
+    return format_table(
+        headers,
+        table_rows,
+        title="Table II: average imbalance (messages) per scheme",
+    )

@@ -1,0 +1,143 @@
+"""Seeded hash functions and families of independent hash functions.
+
+A :class:`HashFamily` produces the ``d`` independent hash functions
+``H1, ..., Hd : K -> [n]`` required by the Greedy-d process of
+Section IV of the paper.  Each member is an independently-seeded 64-bit
+hash reduced modulo the number of workers, exactly as in the paper's
+``Pt(k) = H1(k) mod W`` formulation for key grouping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing.murmur import murmur2_64a, splitmix64, splitmix64_array
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def key_to_bytes(key) -> bytes:
+    """Canonical byte representation of a message key.
+
+    Integers map to their 8-byte little-endian two's-complement form,
+    strings to UTF-8, bytes pass through.  Any other hashable object
+    falls back to its ``repr``, which is stable within a process.
+    """
+    if isinstance(key, (int, np.integer)):
+        return (int(key) & _MASK64).to_bytes(8, "little")
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray, memoryview)):
+        return bytes(key)
+    return repr(key).encode("utf-8")
+
+
+class HashFunction:
+    """A single seeded 64-bit hash function over arbitrary keys.
+
+    Integer keys take a fast splitmix64 path; all other keys are
+    canonicalized to bytes and hashed with MurmurHash64A.  Both paths
+    incorporate the seed, so two functions with different seeds behave
+    as independent draws from the family.
+    """
+
+    __slots__ = ("seed", "_seed_mix")
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._seed_mix = splitmix64(self.seed)
+
+    def __call__(self, key) -> int:
+        if isinstance(key, (int, np.integer)):
+            return splitmix64((int(key) & _MASK64) ^ self._seed_mix)
+        return murmur2_64a(key_to_bytes(key), self.seed)
+
+    def bucket(self, key, n: int) -> int:
+        """Hash ``key`` into ``[0, n)``."""
+        return self(key) % n
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized hash of an integer key array (uint64 result)."""
+        return splitmix64_array(keys, self.seed)
+
+    def bucket_array(self, keys: np.ndarray, n: int) -> np.ndarray:
+        """Vectorized :meth:`bucket` of an integer key array (int64)."""
+        return (self.hash_array(keys) % np.uint64(n)).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFunction(seed={self.seed})"
+
+
+class HashFamily:
+    """A family of ``size`` independent hash functions ``H1 .. Hd``.
+
+    The family is the randomness source of the chromatic balls-and-bins
+    process: each key's candidate workers are
+    ``{H1(k) mod n, ..., Hd(k) mod n}``.
+
+    Parameters
+    ----------
+    size:
+        Number of functions ``d`` (2 for the paper's PKG).
+    seed:
+        Master seed; function ``i`` is seeded with a mix of
+        ``(seed, i)`` so families with different master seeds are
+        independent.
+    """
+
+    __slots__ = ("size", "seed", "functions")
+
+    def __init__(self, size: int = 2, seed: int = 0):
+        if size < 1:
+            raise ValueError(f"hash family size must be >= 1, got {size}")
+        self.size = int(size)
+        self.seed = int(seed)
+        self.functions: Tuple[HashFunction, ...] = tuple(
+            HashFunction(splitmix64((self.seed << 8) ^ (i + 1))) for i in range(size)
+        )
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, i: int) -> HashFunction:
+        return self.functions[i]
+
+    def __iter__(self) -> Iterable[HashFunction]:
+        return iter(self.functions)
+
+    def choices(self, key, n: int) -> Tuple[int, ...]:
+        """The candidate buckets of ``key`` among ``n`` workers.
+
+        Duplicates are possible (``H1(k) == H2(k)``) and preserved, as
+        in the paper's process: a key whose two hashes collide
+        effectively has a single choice.
+        """
+        return tuple(f(key) % n for f in self.functions)
+
+    def choice_matrix(self, keys: np.ndarray, n: int) -> np.ndarray:
+        """Vectorized choices: an ``(len(keys), size)`` int64 matrix.
+
+        Only valid for integer key arrays; this is the fast path used by
+        the simulation harness to hoist hashing out of the sequential
+        routing loop.
+        """
+        keys = np.asarray(keys)
+        cols = [f.bucket_array(keys, n) for f in self.functions]
+        return np.stack(cols, axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFamily(size={self.size}, seed={self.seed})"
+
+
+def default_family(num_choices: int = 2, seed: int = 0) -> HashFamily:
+    """Convenience constructor mirroring the paper's two-choice setup."""
+    return HashFamily(size=num_choices, seed=seed)
+
+
+def family_from_seeds(seeds: Sequence[int]) -> HashFamily:
+    """Build a family whose members use exactly the given seeds."""
+    family = HashFamily(size=len(seeds), seed=0)
+    family.functions = tuple(HashFunction(s) for s in seeds)
+    return family

@@ -1,0 +1,28 @@
+"""Load estimation strategies for power-of-two-choices routing.
+
+PoTC needs to know worker loads to pick the lesser-loaded candidate.
+The paper's second contribution (Section III-B) is that a purely *local*
+estimate -- each source tracking only the load it has generated itself
+-- performs indistinguishably from a global oracle.  This package
+provides:
+
+* :class:`WorkerLoadRegistry` -- ground-truth worker loads (the
+  simulator's bookkeeping, also what a global oracle reads);
+* :class:`GlobalOracleEstimator` -- the idealised "G" technique;
+* :class:`LocalLoadEstimator` -- the practical "L" technique;
+* :class:`ProbingLoadEstimator` -- "LP": local estimation plus periodic
+  probing of true loads (shown by the paper to add nothing).
+"""
+
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.oracle import GlobalOracleEstimator
+from repro.load.local import LocalLoadEstimator
+from repro.load.probing import ProbingLoadEstimator
+
+__all__ = [
+    "LoadEstimator",
+    "WorkerLoadRegistry",
+    "GlobalOracleEstimator",
+    "LocalLoadEstimator",
+    "ProbingLoadEstimator",
+]

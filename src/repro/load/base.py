@@ -1,0 +1,89 @@
+"""Interfaces for worker-load tracking and estimation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+
+class WorkerLoadRegistry:
+    """Ground-truth load of each worker: the ``Li(t)`` of Section II.
+
+    In a simulation this is the central bookkeeping that accumulates
+    every delivery from every source; a :class:`GlobalOracleEstimator`
+    reads it directly, while local estimators only consult it when
+    probing.  Load is message count, matching the paper's definition
+    ("the load of a worker i is the number of messages handled by the
+    worker up to t").
+    """
+
+    __slots__ = ("loads",)
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.loads = np.zeros(num_workers, dtype=np.int64)
+
+    @property
+    def num_workers(self) -> int:
+        return int(self.loads.size)
+
+    def add(self, worker: int, amount: int = 1) -> None:
+        """Record ``amount`` messages delivered to ``worker``."""
+        self.loads[worker] += amount
+
+    def load(self, worker: int) -> int:
+        return int(self.loads[worker])
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current load vector."""
+        return self.loads.copy()
+
+    def total(self) -> int:
+        return int(self.loads.sum())
+
+    def imbalance(self) -> float:
+        """Current imbalance ``I(t) = max(Li) - avg(Li)``."""
+        return float(self.loads.max() - self.loads.mean())
+
+    def reset(self) -> None:
+        self.loads[:] = 0
+
+
+class LoadEstimator(ABC):
+    """A source-side view of worker loads used to make routing choices.
+
+    Every estimator supports two operations: :meth:`select` (pick the
+    least-loaded of a candidate set, as in the Greedy-d process) and
+    :meth:`on_send` (account for a message the source just routed).
+    Implementations differ in which load vector :meth:`select` reads.
+    """
+
+    @abstractmethod
+    def estimates(self, now: float = 0.0) -> np.ndarray:
+        """The load vector this estimator currently believes in."""
+
+    @abstractmethod
+    def on_send(self, worker: int, now: float = 0.0) -> None:
+        """Account for one message sent by this source to ``worker``."""
+
+    def select(self, candidates: Sequence[int], now: float = 0.0) -> int:
+        """The least-loaded worker among ``candidates``.
+
+        Ties break toward the earliest candidate; candidate order is
+        already pseudo-random (it comes from independent hashes), so no
+        systematic bias results.
+        """
+        view = self.estimates(now)
+        best = candidates[0]
+        best_load = view[best]
+        for c in candidates[1:]:
+            load = view[c]
+            if load < best_load:
+                best, best_load = c, load
+        return int(best)
+
+    def reset(self) -> None:  # pragma: no cover - overridden where stateful
+        """Forget accumulated state (default: nothing to forget)."""

@@ -1,0 +1,56 @@
+"""Local load estimation: the paper's practical technique (Section III-B).
+
+Each source keeps a private load-estimate vector counting only the
+messages *it* has sent to each worker.  Correctness argument from the
+paper: the true load is the sum of per-source loads,
+``Li(t) = sum_j Li^j(t)``, so if every source balances its own portion,
+the global maximum (and hence the imbalance) is bounded by the sum of
+the local maxima (local imbalances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+
+
+class LocalLoadEstimator(LoadEstimator):
+    """Per-source local load vector; no communication with workers.
+
+    Parameters
+    ----------
+    num_workers:
+        Size of the downstream worker set.
+    registry:
+        Optional ground-truth registry.  When given, sends are also
+        recorded there so that simulations can measure the *true*
+        imbalance; the estimator never reads it (that would be
+        probing -- see :class:`ProbingLoadEstimator`).
+    """
+
+    __slots__ = ("local", "registry")
+
+    def __init__(self, num_workers: int, registry: WorkerLoadRegistry = None):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.local = np.zeros(num_workers, dtype=np.int64)
+        self.registry = registry
+
+    def estimates(self, now: float = 0.0) -> np.ndarray:
+        return self.local
+
+    def on_send(self, worker: int, now: float = 0.0) -> None:
+        self.local[worker] += 1
+        if self.registry is not None:
+            self.registry.add(worker)
+
+    def local_imbalance(self) -> float:
+        """Imbalance of this source's own portion of the stream."""
+        return float(self.local.max() - self.local.mean())
+
+    def reset(self) -> None:
+        self.local[:] = 0
+
+    def __repr__(self) -> str:
+        return f"LocalLoadEstimator(num_workers={self.local.size})"

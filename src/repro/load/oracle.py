@@ -1,0 +1,34 @@
+"""Global load oracle: the idealised "G" estimator.
+
+Reads the true worker loads on every decision.  In a real DSPE this
+would require continuous worker-to-source communication; the paper uses
+it as the gold standard against which local estimation is judged (Q2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+
+
+class GlobalOracleEstimator(LoadEstimator):
+    """Estimator with perfect, instantaneous knowledge of worker loads.
+
+    Multiple sources share a single :class:`WorkerLoadRegistry`;
+    each send is immediately visible to every other source.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: WorkerLoadRegistry):
+        self.registry = registry
+
+    def estimates(self, now: float = 0.0) -> np.ndarray:
+        return self.registry.loads
+
+    def on_send(self, worker: int, now: float = 0.0) -> None:
+        self.registry.add(worker)
+
+    def __repr__(self) -> str:
+        return f"GlobalOracleEstimator(num_workers={self.registry.num_workers})"

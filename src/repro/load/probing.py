@@ -1,0 +1,68 @@
+"""Local load estimation with periodic probing ("LP" in the paper).
+
+Every ``period`` time units the source replaces its local estimate
+vector with the true worker loads, removing any accumulated estimation
+drift.  The paper's finding (Q2, Figure 3): probing does **not** improve
+balance over purely local estimation, so the probing overhead is not
+worth paying.  This class exists to reproduce that negative result and
+for the probing-period ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.load.base import WorkerLoadRegistry
+from repro.load.local import LocalLoadEstimator
+
+
+class ProbingLoadEstimator(LocalLoadEstimator):
+    """Local estimator that re-syncs with true loads every ``period``.
+
+    Parameters
+    ----------
+    num_workers:
+        Size of the downstream worker set.
+    registry:
+        Ground-truth registry that probes read (and sends update).
+    period:
+        Time between probes, in stream-time units.  The paper's "L5P1"
+        probes every simulated minute.
+    """
+
+    __slots__ = ("period", "_next_probe", "probes")
+
+    def __init__(
+        self,
+        num_workers: int,
+        registry: WorkerLoadRegistry,
+        period: float,
+    ):
+        if registry is None:
+            raise ValueError("probing requires a ground-truth registry to probe")
+        if period <= 0:
+            raise ValueError(f"probe period must be positive, got {period}")
+        super().__init__(num_workers, registry)
+        self.period = float(period)
+        self._next_probe = self.period
+        self.probes = 0
+
+    def estimates(self, now: float = 0.0) -> np.ndarray:
+        if now >= self._next_probe:
+            self.local = self.registry.loads.copy()
+            self.probes += 1
+            # Skip ahead past any idle gap so probes stay periodic.
+            while self._next_probe <= now:
+                self._next_probe += self.period
+        return self.local
+
+    def reset(self) -> None:
+        super().reset()
+        self._next_probe = self.period
+        self.probes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbingLoadEstimator(num_workers={self.local.size}, "
+            f"period={self.period})"
+        )

@@ -1,0 +1,46 @@
+"""Stream partitioning schemes.
+
+The paper's cast, by name used in its tables:
+
+========== ============================================ ==================
+Name       Class                                        Key splitting?
+========== ============================================ ==================
+H          :class:`KeyGrouping` (hash key grouping)     no (single choice)
+SG         :class:`ShuffleGrouping` (round robin)       n/a (stateless)
+PoTC       :class:`StaticPoTC` (2 choices, bound once)  no
+On-Greedy  :class:`OnlineGreedy` (W choices, bound)     no
+Off-Greedy :class:`OfflineGreedy` (offline LPT)         no
+PKG        :class:`PartialKeyGrouping` (Greedy-d)       **yes**
+--         :class:`LeastLoaded` (d -> W limit)          yes (degenerate)
+--         :class:`RebalancingKeyGrouping` (Flux-like)  no (migration)
+========== ============================================ ==================
+"""
+
+from repro.partitioning.base import Partitioner
+from repro.partitioning.key_grouping import KeyGrouping
+from repro.partitioning.shuffle import ShuffleGrouping
+from repro.partitioning.pkg import PartialKeyGrouping
+from repro.partitioning.potc import StaticPoTC
+from repro.partitioning.greedy import OfflineGreedy, OnlineGreedy
+from repro.partitioning.dchoices import LeastLoaded
+from repro.partitioning.rebalancing import RebalancingKeyGrouping
+from repro.partitioning.consistent import (
+    ConsistentKeyGrouping,
+    ConsistentPartialKeyGrouping,
+    HashRing,
+)
+
+__all__ = [
+    "Partitioner",
+    "KeyGrouping",
+    "ShuffleGrouping",
+    "PartialKeyGrouping",
+    "StaticPoTC",
+    "OnlineGreedy",
+    "OfflineGreedy",
+    "LeastLoaded",
+    "RebalancingKeyGrouping",
+    "HashRing",
+    "ConsistentKeyGrouping",
+    "ConsistentPartialKeyGrouping",
+]

@@ -1,0 +1,83 @@
+"""The stream partitioner interface.
+
+A stream partitioning function ``Pt : K -> [W]`` (Section II) maps each
+key to the worker responsible for processing the message carrying it,
+possibly as a function of time (of everything routed so far).  One
+partitioner instance embodies the routing state of one *source PEI* for
+one edge of the DAG; sources sharing an edge use separate instances
+built from the same hash family.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Partitioner(ABC):
+    """Routes message keys to workers ``0 .. num_workers - 1``."""
+
+    #: short display name used in experiment tables ("PKG", "H", ...)
+    name: str = "base"
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+
+    @abstractmethod
+    def route(self, key, now: float = 0.0) -> int:
+        """The worker that must handle the message with this ``key``.
+
+        ``now`` is the message timestamp; only time-aware partitioners
+        (probing PKG, rebalancing KG) use it.
+        """
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        """The workers this key *may* be routed to.
+
+        Key grouping returns a single worker; PKG returns its d hash
+        choices; shuffle grouping may return every worker.  Used by
+        stateful applications to know which workers hold a key's
+        partial state (e.g. the 2-probe queries of Section VI-A).
+        """
+        return tuple(range(self.num_workers))
+
+    def route_stream(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Route a whole key sequence; returns int64 worker ids.
+
+        The generic implementation loops over :meth:`route`; subclasses
+        override with vectorized versions where the routing function
+        permits (stateless schemes), or with loops over precomputed
+        hash matrices (PKG).
+        """
+        if timestamps is None:
+            return np.fromiter(
+                (self.route(k) for k in keys), dtype=np.int64, count=len(keys)
+            )
+        return np.fromiter(
+            (self.route(k, t) for k, t in zip(keys, timestamps)),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
+    def reset(self) -> None:
+        """Clear any accumulated routing state."""
+
+    def memory_entries(self) -> int:
+        """Routing-table entries this partitioner must store.
+
+        The paper's practicality argument (Sections II-B, III-A): any
+        scheme that remembers a per-key choice needs a routing table
+        with one entry per key, which is prohibitive at billions of
+        keys.  KG/SG/PKG return 0; static PoTC and the greedy baselines
+        return the number of keys seen.
+        """
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_workers={self.num_workers})"

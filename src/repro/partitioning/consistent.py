@@ -1,0 +1,202 @@
+"""Consistent-hashing partitioners (Section VII extension).
+
+The paper notes that the two PKG replicas could equally be chosen with
+consistent hashing, "using the replication technique used by Chord":
+hash workers onto a ring, hash the key, and take the next d distinct
+workers clockwise.  The payoff is elasticity -- adding or removing a
+worker relocates only the keys in its arc -- while preserving PKG's
+two-choice load balancing.
+
+This module implements:
+
+* :class:`HashRing` -- a ring with virtual nodes;
+* :class:`ConsistentKeyGrouping` -- single-choice key grouping on the
+  ring (the classic distributed-cache baseline);
+* :class:`ConsistentPartialKeyGrouping` -- PKG whose candidates are the
+  d successor workers on the ring (Chord-style replicas).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.hashing import HashFunction
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.local import LocalLoadEstimator
+from repro.partitioning.base import Partitioner
+
+
+class HashRing:
+    """A consistent-hash ring of workers with virtual nodes.
+
+    Parameters
+    ----------
+    num_workers:
+        Workers ``0 .. num_workers-1`` placed on the ring.
+    virtual_nodes:
+        Ring points per worker; more points smooth the arc sizes.
+    seed:
+        Seeds both the worker-placement and the key hash.
+    """
+
+    def __init__(self, num_workers: int, virtual_nodes: int = 64, seed: int = 0):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.num_workers = int(num_workers)
+        self.virtual_nodes = int(virtual_nodes)
+        self.seed = int(seed)
+        self._key_hash = HashFunction(seed ^ 0xC0FFEE)
+        self._points: List[int] = []
+        self._owners: List[int] = []
+        self._members: set = set()
+        for worker in range(num_workers):
+            self.add_worker(worker)
+
+    def _worker_points(self, worker: int) -> List[int]:
+        return [
+            HashFunction(self.seed ^ (v + 1))((worker << 20) | 0xA5)
+            for v in range(self.virtual_nodes)
+        ]
+
+    def add_worker(self, worker: int) -> None:
+        """Place (or re-place) a worker's virtual nodes on the ring."""
+        if worker in self._members:
+            return
+        self._members.add(worker)
+        for point in self._worker_points(worker):
+            idx = bisect.bisect_left(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, worker)
+
+    def remove_worker(self, worker: int) -> None:
+        """Remove a worker; its arcs fall to the next ring successors."""
+        if worker not in self._members:
+            raise KeyError(f"worker {worker} is not on the ring")
+        self._members.discard(worker)
+        keep = [
+            (p, w)
+            for p, w in zip(self._points, self._owners)
+            if w != worker
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [w for _, w in keep]
+
+    @property
+    def workers(self) -> set:
+        return set(self._members)
+
+    def successors(self, key, count: int = 1) -> Tuple[int, ...]:
+        """The first ``count`` *distinct* workers clockwise of the key."""
+        if not self._points:
+            raise RuntimeError("ring has no workers")
+        count = min(count, len(self._members))
+        h = self._key_hash(key)
+        idx = bisect.bisect_right(self._points, h) % len(self._points)
+        out: List[int] = []
+        seen = set()
+        i = idx
+        while len(out) < count:
+            owner = self._owners[i]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+            i = (i + 1) % len(self._points)
+        return tuple(out)
+
+
+class ConsistentKeyGrouping(Partitioner):
+    """Single-choice key grouping over a consistent-hash ring."""
+
+    name = "CH"
+
+    def __init__(
+        self,
+        num_workers: int,
+        virtual_nodes: int = 64,
+        seed: int = 0,
+        ring: Optional[HashRing] = None,
+    ):
+        super().__init__(num_workers)
+        self.ring = ring or HashRing(num_workers, virtual_nodes, seed)
+
+    def route(self, key, now: float = 0.0) -> int:
+        return self.ring.successors(key, 1)[0]
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        return self.ring.successors(key, 1)
+
+
+class ConsistentPartialKeyGrouping(Partitioner):
+    """PKG whose two candidates are Chord-style ring successors.
+
+    Same key-splitting and local-load-estimation behaviour as
+    :class:`~repro.partitioning.pkg.PartialKeyGrouping`, but candidate
+    sets move minimally when the worker set changes: on
+    :meth:`add_worker` / :meth:`remove_worker` only keys whose arc is
+    touched change candidates, instead of rehashing the world.
+    """
+
+    name = "CH-PKG"
+
+    def __init__(
+        self,
+        num_workers: int,
+        num_choices: int = 2,
+        virtual_nodes: int = 64,
+        seed: int = 0,
+        estimator: Optional[LoadEstimator] = None,
+        registry: Optional[WorkerLoadRegistry] = None,
+        ring: Optional[HashRing] = None,
+    ):
+        super().__init__(num_workers)
+        if num_choices < 1:
+            raise ValueError(f"num_choices must be >= 1, got {num_choices}")
+        self.num_choices = int(num_choices)
+        self.ring = ring or HashRing(num_workers, virtual_nodes, seed)
+        self.estimator = estimator or LocalLoadEstimator(num_workers, registry)
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        return self.ring.successors(key, self.num_choices)
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self.estimator.select(self.candidates(key), now)
+        self.estimator.on_send(worker, now)
+        return worker
+
+    def add_worker(self, worker: int) -> None:
+        """Elastically grow the worker set (new arcs only)."""
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(
+                f"worker {worker} outside the estimator's range "
+                f"[0, {self.num_workers}); construct with capacity first"
+            )
+        self.ring.add_worker(worker)
+
+    def remove_worker(self, worker: int) -> None:
+        """Elastically shrink the worker set."""
+        self.ring.remove_worker(worker)
+
+    def reset(self) -> None:
+        self.estimator.reset()
+
+
+def relocation_fraction(
+    ring_before: HashRing, ring_after: HashRing, keys, count: int = 1
+) -> float:
+    """Fraction of keys whose candidate set changed between two rings.
+
+    The consistent-hashing selling point: adding one of n workers should
+    relocate ~1/n of the keys, not all of them.
+    """
+    keys = list(keys)
+    if not keys:
+        return 0.0
+    moved = sum(
+        1
+        for k in keys
+        if ring_before.successors(k, count) != ring_after.successors(k, count)
+    )
+    return moved / len(keys)

@@ -1,0 +1,55 @@
+"""The d -> n limit of the Greedy-d process: least-loaded routing.
+
+Section IV observes that "when d >> n ln n, all n bins are valid
+choices, and we obtain shuffle grouping".  This partitioner routes every
+message to the globally least-loaded worker regardless of key -- the
+degenerate end of the choice spectrum, used by the d-choices ablation
+to anchor the curve, and equivalent to shuffle grouping in balance while
+destroying all key locality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.local import LocalLoadEstimator
+from repro.partitioning.base import Partitioner
+
+
+class LeastLoaded(Partitioner):
+    """Route each message to the least-loaded worker (d = W choices)."""
+
+    name = "least-loaded"
+
+    def __init__(
+        self,
+        num_workers: int,
+        estimator: Optional[LoadEstimator] = None,
+        registry: Optional[WorkerLoadRegistry] = None,
+    ):
+        super().__init__(num_workers)
+        self.estimator = estimator or LocalLoadEstimator(num_workers, registry)
+        self._all_workers = tuple(range(num_workers))
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self.estimator.select(self._all_workers, now)
+        self.estimator.on_send(worker, now)
+        return worker
+
+    def route_stream(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        out = np.empty(len(keys), dtype=np.int64)
+        times = timestamps if timestamps is not None else np.zeros(len(keys))
+        for i in range(len(keys)):
+            t = float(times[i])
+            w = self.estimator.select(self._all_workers, t)
+            self.estimator.on_send(w, t)
+            out[i] = w
+        return out
+
+    def reset(self) -> None:
+        self.estimator.reset()

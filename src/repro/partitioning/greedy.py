@@ -1,0 +1,145 @@
+"""Greedy key-grouping baselines: On-Greedy and Off-Greedy (Table II).
+
+Both keep key-grouping semantics (one worker per key, remembered in a
+routing table) but consider *all* W workers instead of two hash
+choices:
+
+* **On-Greedy** -- online: the first time a key appears, bind it to the
+  globally least-loaded worker.
+* **Off-Greedy** -- offline: with the whole key-frequency histogram
+  known in advance, assign keys in decreasing frequency order to the
+  least-loaded worker (LPT scheduling).  An unfair comparison for
+  online algorithms; the paper's headline is that PKG beats even this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.oracle import GlobalOracleEstimator
+from repro.partitioning.base import Partitioner
+
+
+class OnlineGreedy(Partitioner):
+    """Online greedy: new key -> currently least-loaded worker, fixed."""
+
+    name = "On-Greedy"
+
+    def __init__(
+        self,
+        num_workers: int,
+        estimator: Optional[LoadEstimator] = None,
+        registry: Optional[WorkerLoadRegistry] = None,
+    ):
+        super().__init__(num_workers)
+        if estimator is None:
+            registry = registry or WorkerLoadRegistry(num_workers)
+            estimator = GlobalOracleEstimator(registry)
+        self.estimator = estimator
+        self.routing_table: Dict = {}
+        self._all_workers = tuple(range(num_workers))
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        if key in self.routing_table:
+            return (self.routing_table[key],)
+        return self._all_workers
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self.routing_table.get(key)
+        if worker is None:
+            worker = self.estimator.select(self._all_workers, now)
+            self.routing_table[key] = worker
+        self.estimator.on_send(worker, now)
+        return worker
+
+    def memory_entries(self) -> int:
+        return len(self.routing_table)
+
+    def reset(self) -> None:
+        self.routing_table.clear()
+        self.estimator.reset()
+        if isinstance(self.estimator, GlobalOracleEstimator):
+            self.estimator.registry.reset()
+
+
+class OfflineGreedy(Partitioner):
+    """Offline greedy (LPT): requires the full key-frequency histogram.
+
+    :meth:`fit` sorts keys by decreasing frequency and greedily packs
+    them onto the least-loaded worker, the classic makespan heuristic.
+    Routing then is a pure table lookup.  Keys never seen during fit
+    fall back to the least *assigned-load* worker at first sight.
+    """
+
+    name = "Off-Greedy"
+
+    def __init__(self, num_workers: int):
+        super().__init__(num_workers)
+        self.routing_table: Dict = {}
+        self._planned_load = np.zeros(num_workers, dtype=np.float64)
+        self._fitted = False
+
+    def fit(self, frequencies: Mapping) -> "OfflineGreedy":
+        """Plan the assignment from a ``{key: frequency}`` mapping."""
+        self.routing_table.clear()
+        self._planned_load[:] = 0.0
+        for key, freq in sorted(
+            frequencies.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        ):
+            worker = int(np.argmin(self._planned_load))
+            self.routing_table[key] = worker
+            self._planned_load[worker] += freq
+        self._fitted = True
+        return self
+
+    @classmethod
+    def from_stream(cls, keys: Sequence, num_workers: int) -> "OfflineGreedy":
+        """Fit directly from the key sequence that will be replayed."""
+        keys = np.asarray(keys)
+        if np.issubdtype(keys.dtype, np.integer):
+            counts = np.bincount(keys.astype(np.int64))
+            freqs = {int(k): int(c) for k, c in enumerate(counts) if c > 0}
+        else:
+            freqs = {}
+            for k in keys:
+                freqs[k] = freqs.get(k, 0) + 1
+        return cls(num_workers).fit(freqs)
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        if key in self.routing_table:
+            return (self.routing_table[key],)
+        return tuple(range(self.num_workers))
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self.routing_table.get(key)
+        if worker is None:
+            worker = int(np.argmin(self._planned_load))
+            self.routing_table[key] = worker
+            self._planned_load[worker] += 1.0
+        return worker
+
+    def route_stream(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        keys_arr = np.asarray(keys)
+        if self._fitted and np.issubdtype(keys_arr.dtype, np.integer):
+            max_key = int(keys_arr.max(initial=-1))
+            table = np.full(max_key + 2, -1, dtype=np.int64)
+            for k, w in self.routing_table.items():
+                if isinstance(k, (int, np.integer)) and 0 <= int(k) <= max_key:
+                    table[int(k)] = w
+            routed = table[keys_arr]
+            if np.all(routed >= 0):
+                return routed
+        return super().route_stream(keys, timestamps)
+
+    def memory_entries(self) -> int:
+        return len(self.routing_table)
+
+    def reset(self) -> None:
+        self.routing_table.clear()
+        self._planned_load[:] = 0.0
+        self._fitted = False

@@ -1,0 +1,50 @@
+"""Key grouping (KG): the single-choice hashing baseline ("H").
+
+``Pt(k) = H1(k) mod W`` -- stateless, coordination-free, and the cause
+of the load imbalance the paper sets out to fix: with a skewed key
+distribution the worker owning the hot keys receives a disproportionate
+share of messages (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing import HashFamily, HashFunction
+from repro.partitioning.base import Partitioner
+
+
+class KeyGrouping(Partitioner):
+    """Hash-based key grouping, the paper's main baseline.
+
+    Guarantees that all messages with the same key reach the same
+    worker (the semantics stateful MapReduce-style operators rely on),
+    at the cost of single-choice load imbalance.
+    """
+
+    name = "H"
+
+    def __init__(
+        self,
+        num_workers: int,
+        hash_function: Optional[HashFunction] = None,
+        seed: int = 0,
+    ):
+        super().__init__(num_workers)
+        self._hash = hash_function or HashFamily(size=1, seed=seed)[0]
+
+    def route(self, key, now: float = 0.0) -> int:
+        return self._hash(key) % self.num_workers
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        return (self.route(key),)
+
+    def route_stream(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        keys = np.asarray(keys)
+        if np.issubdtype(keys.dtype, np.integer):
+            return self._hash.bucket_array(keys, self.num_workers)
+        return super().route_stream(keys, timestamps)

@@ -1,0 +1,144 @@
+"""PARTIAL KEY GROUPING -- the paper's contribution.
+
+PKG = power of two choices + *key splitting* + *local load estimation*:
+
+* each key has d = 2 candidate workers, ``H1(k) mod W`` and
+  ``H2(k) mod W``;
+* every message is routed to whichever candidate is currently less
+  loaded *according to this source's own estimate* -- the key may end up
+  split across both candidates (key splitting), so no routing table or
+  inter-source agreement is needed;
+* the estimate is purely local by default (:class:`LocalLoadEstimator`)
+  but any :class:`~repro.load.base.LoadEstimator` can be plugged in,
+  giving the paper's G / L / LP variants.
+
+This implements the Greedy-d scheme of Section IV for arbitrary d;
+d = 2 is the paper's PKG (d > 2 "only brings constant factor
+improvements", reproduced by ``benchmarks/bench_ablation_dchoices.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing import HashFamily
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.local import LocalLoadEstimator
+from repro.partitioning.base import Partitioner
+
+
+class PartialKeyGrouping(Partitioner):
+    """Greedy-d stream partitioner with key splitting.
+
+    Parameters
+    ----------
+    num_workers:
+        Downstream parallelism W.
+    num_choices:
+        d, the number of hash choices per key (default 2 = PKG).
+    hash_family:
+        The d independent hash functions; built from ``seed`` if absent.
+        Sources sharing an edge **must** share a family (same seed) so
+        that a key's candidate set is consistent across sources.
+    estimator:
+        Load-estimation strategy.  Defaults to a fresh local estimator
+        (the paper's practical configuration).
+    registry:
+        Convenience: when given and no estimator is supplied, the local
+        estimator also mirrors sends into this ground-truth registry.
+    """
+
+    name = "PKG"
+
+    def __init__(
+        self,
+        num_workers: int,
+        num_choices: int = 2,
+        hash_family: Optional[HashFamily] = None,
+        estimator: Optional[LoadEstimator] = None,
+        registry: Optional[WorkerLoadRegistry] = None,
+        seed: int = 0,
+    ):
+        super().__init__(num_workers)
+        if hash_family is not None and len(hash_family) != num_choices:
+            raise ValueError(
+                f"hash family has {len(hash_family)} functions but "
+                f"num_choices={num_choices}"
+            )
+        self.num_choices = int(num_choices)
+        self.family = hash_family or HashFamily(size=num_choices, seed=seed)
+        self.estimator = estimator or LocalLoadEstimator(num_workers, registry)
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        """The d candidate workers of ``key`` (duplicates preserved)."""
+        return self.family.choices(key, self.num_workers)
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self.estimator.select(self.candidates(key), now)
+        self.estimator.on_send(worker, now)
+        return worker
+
+    def route_stream(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Route a key sequence with hashing hoisted out of the loop.
+
+        For integer key arrays the d hash columns are computed
+        vectorized up front; the remaining sequential pass only does
+        estimate lookups, which is what makes million-message
+        simulations practical in pure Python.
+        """
+        keys_arr = np.asarray(keys)
+        if not np.issubdtype(keys_arr.dtype, np.integer):
+            return super().route_stream(keys, timestamps)
+
+        choice_cols = [
+            col.tolist()
+            for col in self.family.choice_matrix(keys_arr, self.num_workers).T
+        ]
+        estimator = self.estimator
+        out = np.empty(len(keys_arr), dtype=np.int64)
+
+        if timestamps is None and type(estimator) is LocalLoadEstimator:
+            # Fully inlined fast path for the common case.
+            local = estimator.local
+            registry = estimator.registry
+            reg_loads = registry.loads if registry is not None else None
+            if self.num_choices == 2:
+                col1, col2 = choice_cols
+                for i in range(len(keys_arr)):
+                    a, b = col1[i], col2[i]
+                    w = a if local[a] <= local[b] else b
+                    local[w] += 1
+                    if reg_loads is not None:
+                        reg_loads[w] += 1
+                    out[i] = w
+            else:
+                for i in range(len(keys_arr)):
+                    cands = [col[i] for col in choice_cols]
+                    w = min(cands, key=local.__getitem__)
+                    local[w] += 1
+                    if reg_loads is not None:
+                        reg_loads[w] += 1
+                    out[i] = w
+            return out
+
+        times = timestamps if timestamps is not None else np.zeros(len(keys_arr))
+        for i in range(len(keys_arr)):
+            cands = tuple(col[i] for col in choice_cols)
+            t = float(times[i])
+            w = estimator.select(cands, t)
+            estimator.on_send(w, t)
+            out[i] = w
+        return out
+
+    def reset(self) -> None:
+        self.estimator.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialKeyGrouping(num_workers={self.num_workers}, "
+            f"num_choices={self.num_choices}, estimator={self.estimator!r})"
+        )

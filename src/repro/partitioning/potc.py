@@ -1,0 +1,75 @@
+"""Static power of two choices (PoTC) *without* key splitting.
+
+The strawman of Section III-A: to keep key-grouping semantics, the first
+time a key appears it is bound to the lesser-loaded of its two hash
+candidates, and the binding is remembered forever in a routing table.
+This requires (a) one table entry per key -- impractical at stream
+scale -- and (b) global agreement among sources; the paper shows it is
+*also* much worse at balancing than PKG (Table II), because the binding
+cannot adapt once the key's frequency is revealed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hashing import HashFamily
+from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.oracle import GlobalOracleEstimator
+from repro.partitioning.base import Partitioner
+
+
+class StaticPoTC(Partitioner):
+    """PoTC applied to key grouping: first-sight binding of key to choice.
+
+    Parameters
+    ----------
+    num_workers:
+        Downstream parallelism W.
+    estimator:
+        Load view consulted at first sight of a key.  Defaults to a
+        global oracle over a private registry (the most favourable
+        setting for PoTC; it loses to PKG even so).
+    """
+
+    name = "PoTC"
+
+    def __init__(
+        self,
+        num_workers: int,
+        hash_family: Optional[HashFamily] = None,
+        estimator: Optional[LoadEstimator] = None,
+        registry: Optional[WorkerLoadRegistry] = None,
+        seed: int = 0,
+    ):
+        super().__init__(num_workers)
+        self.family = hash_family or HashFamily(size=2, seed=seed)
+        if estimator is None:
+            registry = registry or WorkerLoadRegistry(num_workers)
+            estimator = GlobalOracleEstimator(registry)
+        self.estimator = estimator
+        self.routing_table: Dict = {}
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        if key in self.routing_table:
+            return (self.routing_table[key],)
+        return self.family.choices(key, self.num_workers)
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self.routing_table.get(key)
+        if worker is None:
+            worker = self.estimator.select(
+                self.family.choices(key, self.num_workers), now
+            )
+            self.routing_table[key] = worker
+        self.estimator.on_send(worker, now)
+        return worker
+
+    def memory_entries(self) -> int:
+        return len(self.routing_table)
+
+    def reset(self) -> None:
+        self.routing_table.clear()
+        self.estimator.reset()
+        if isinstance(self.estimator, GlobalOracleEstimator):
+            self.estimator.registry.reset()

@@ -1,0 +1,137 @@
+"""Key grouping with rebalancing: the operator-migration baseline.
+
+Section II-B discusses the "common solution" of migrating keys (and
+their state) away from overloaded workers once imbalance is detected,
+and argues it is impractical for DSPEs: it needs imbalance-checking and
+rebalancing parameters, explicit routing tables, and coordinated
+migration of state.  We implement it anyway, both as a baseline and to
+*account for its costs*: every migration is charged with the size of
+the state moved, so experiments can weigh imbalance gained against
+migration traffic paid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.hashing import HashFamily, HashFunction
+from repro.partitioning.base import Partitioner
+
+
+class RebalancingKeyGrouping(Partitioner):
+    """KG plus periodic migration of the hottest keys.
+
+    Parameters
+    ----------
+    num_workers:
+        Downstream parallelism W.
+    check_interval:
+        Check for imbalance every this many routed messages.
+    imbalance_threshold:
+        Trigger a rebalance when ``I(t) / avg(L)`` exceeds this ratio.
+    max_migrations_per_rebalance:
+        How many keys may move per rebalancing round.
+    """
+
+    name = "KG-rebalance"
+
+    def __init__(
+        self,
+        num_workers: int,
+        check_interval: int = 10_000,
+        imbalance_threshold: float = 0.2,
+        max_migrations_per_rebalance: int = 8,
+        hash_function: Optional[HashFunction] = None,
+        seed: int = 0,
+    ):
+        super().__init__(num_workers)
+        if check_interval < 1:
+            raise ValueError(f"check_interval must be >= 1, got {check_interval}")
+        if imbalance_threshold < 0:
+            raise ValueError("imbalance_threshold must be non-negative")
+        self._hash = hash_function or HashFamily(size=1, seed=seed)[0]
+        self.check_interval = int(check_interval)
+        self.imbalance_threshold = float(imbalance_threshold)
+        self.max_migrations = int(max_migrations_per_rebalance)
+
+        self.overrides: Dict = {}          # key -> migrated worker
+        self.key_counts: Dict = {}         # key -> messages seen (its state size)
+        self.loads = np.zeros(num_workers, dtype=np.int64)
+        self._since_check = 0
+
+        #: number of rebalancing rounds triggered
+        self.rebalances = 0
+        #: total key->worker moves performed
+        self.migrations = 0
+        #: total state migrated, in messages (the migration cost the
+        #: paper warns about: proportional to the state of moved keys)
+        self.migrated_state = 0
+
+    def _home(self, key) -> int:
+        return self._hash(key) % self.num_workers
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self.overrides.get(key)
+        if worker is None:
+            worker = self._home(key)
+        self.loads[worker] += 1
+        self.key_counts[key] = self.key_counts.get(key, 0) + 1
+        self._since_check += 1
+        if self._since_check >= self.check_interval:
+            self._since_check = 0
+            self._maybe_rebalance()
+        return worker
+
+    def candidates(self, key) -> Tuple[int, ...]:
+        worker = self.overrides.get(key)
+        return (worker if worker is not None else self._home(key),)
+
+    def _maybe_rebalance(self) -> None:
+        avg = self.loads.mean()
+        if avg <= 0:
+            return
+        imbalance = (self.loads.max() - avg) / avg
+        if imbalance <= self.imbalance_threshold:
+            return
+        self.rebalances += 1
+
+        # Move the hottest keys of the most loaded worker to the least
+        # loaded one, Flux-style, paying their state size as cost.
+        donor = int(np.argmax(self.loads))
+        receiver = int(np.argmin(self.loads))
+        if donor == receiver:
+            return
+        donor_keys = [
+            (count, key)
+            for key, count in self.key_counts.items()
+            if (self.overrides.get(key, self._home(key))) == donor
+        ]
+        donor_keys.sort(key=lambda ck: -ck[0])
+        moved = 0
+        for count, key in donor_keys:
+            if moved >= self.max_migrations:
+                break
+            if self.loads[donor] - count < self.loads[receiver] + count:
+                # Moving this key would overshoot; try a lighter one.
+                continue
+            self.overrides[key] = receiver
+            self.loads[donor] -= count
+            self.loads[receiver] += count
+            self.migrations += 1
+            self.migrated_state += count
+            moved += 1
+
+    def memory_entries(self) -> int:
+        # The migration mechanism must track per-key counts *and* the
+        # override table -- exactly the staggering memory requirement
+        # Section II-B objects to.
+        return len(self.key_counts) + len(self.overrides)
+
+    def reset(self) -> None:
+        self.overrides.clear()
+        self.key_counts.clear()
+        self.loads[:] = 0
+        self._since_check = 0
+        self.rebalances = self.migrations = self.migrated_state = 0

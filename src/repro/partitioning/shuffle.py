@@ -1,0 +1,46 @@
+"""Shuffle grouping (SG): round-robin routing.
+
+Balances load nearly perfectly (imbalance at most one message per
+source) but makes no guarantee about which worker sees a key, so
+stateful operators must keep partial state for every key on every
+worker: memory O(W*K) and W-1 aggregations per key (Section II-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.partitioning.base import Partitioner
+
+
+class ShuffleGrouping(Partitioner):
+    """Cyclic round-robin partitioner.
+
+    ``offset`` staggers the starting worker so that multiple sources
+    do not all hit worker 0 first.
+    """
+
+    name = "SG"
+
+    def __init__(self, num_workers: int, offset: int = 0):
+        super().__init__(num_workers)
+        self._next = int(offset) % num_workers
+
+    def route(self, key, now: float = 0.0) -> int:
+        worker = self._next
+        self._next = (worker + 1) % self.num_workers
+        return worker
+
+    def route_stream(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        m = len(keys)
+        start = self._next
+        out = (np.arange(start, start + m, dtype=np.int64)) % self.num_workers
+        self._next = int((start + m) % self.num_workers)
+        return out
+
+    def reset(self) -> None:
+        self._next = 0

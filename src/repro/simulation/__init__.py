@@ -1,0 +1,41 @@
+"""Simulation harness: replaying key streams through partitioners.
+
+This is the machinery behind the paper's Section V simulations (Q1-Q3):
+a stream of keys is split among S source PEIs, each source routes its
+sub-stream with its own partitioner instance, and the harness tracks the
+true worker loads over time to measure imbalance
+``I(t) = max_i Li(t) - avg_i Li(t)``.
+"""
+
+from repro.simulation.metrics import (
+    agreement_fraction,
+    average_imbalance,
+    count_partial_states,
+    imbalance,
+    imbalance_fraction,
+    jaccard_overlap,
+    load_series,
+    replication_factor,
+)
+from repro.simulation.runner import SimulationResult, simulate_stream
+from repro.simulation.multisource import (
+    assign_sources,
+    simulate_multisource_pkg,
+    simulate_partitioner_per_source,
+)
+
+__all__ = [
+    "imbalance",
+    "imbalance_fraction",
+    "average_imbalance",
+    "replication_factor",
+    "load_series",
+    "jaccard_overlap",
+    "agreement_fraction",
+    "count_partial_states",
+    "SimulationResult",
+    "simulate_stream",
+    "assign_sources",
+    "simulate_multisource_pkg",
+    "simulate_partitioner_per_source",
+]

@@ -1,0 +1,101 @@
+"""Single-source simulation runner.
+
+Replays a key stream through one partitioner instance and collects the
+load-balance metrics the paper reports: final loads, the imbalance time
+series I(t), its average over the run (Table II), and the normalised
+"fraction of imbalance" (Figures 2-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.partitioning.base import Partitioner
+from repro.simulation.metrics import load_series
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying a stream through a partitioning scheme."""
+
+    scheme: str
+    num_workers: int
+    num_sources: int
+    num_messages: int
+    final_loads: np.ndarray
+    checkpoint_positions: np.ndarray
+    imbalance_series: np.ndarray
+    #: per-message worker assignment (kept only on request; large)
+    assignments: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def final_imbalance(self) -> float:
+        """``I(m)`` at the end of the stream."""
+        return float(self.final_loads.max() - self.final_loads.mean())
+
+    @property
+    def average_imbalance(self) -> float:
+        """Mean I(t) over checkpoints -- the Table II statistic."""
+        if self.imbalance_series.size == 0:
+            return 0.0
+        return float(self.imbalance_series.mean())
+
+    @property
+    def average_imbalance_fraction(self) -> float:
+        """Average imbalance / total messages -- the Figure 2 y-axis."""
+        if self.num_messages == 0:
+            return 0.0
+        return self.average_imbalance / self.num_messages
+
+    @property
+    def final_imbalance_fraction(self) -> float:
+        if self.num_messages == 0:
+            return 0.0
+        return self.final_imbalance / self.num_messages
+
+    @property
+    def imbalance_fraction_series(self) -> np.ndarray:
+        """I(t) normalised by messages-so-far (the Figure 3 y-axis)."""
+        positions = np.maximum(self.checkpoint_positions, 1)
+        return self.imbalance_series / positions
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.scheme}: W={self.num_workers} S={self.num_sources} "
+            f"m={self.num_messages} avg I={self.average_imbalance:.2f} "
+            f"(fraction {self.average_imbalance_fraction:.3e})"
+        )
+
+
+def simulate_stream(
+    keys: Sequence,
+    partitioner: Partitioner,
+    timestamps: Optional[Sequence[float]] = None,
+    num_checkpoints: int = 100,
+    keep_assignments: bool = False,
+) -> SimulationResult:
+    """Route a key stream through ``partitioner`` and measure balance.
+
+    This is the single-source path (S = 1); for the multi-source
+    experiments use :mod:`repro.simulation.multisource`.
+    """
+    keys = np.asarray(keys)
+    workers = partitioner.route_stream(keys, timestamps)
+    positions, series = load_series(
+        workers, partitioner.num_workers, num_checkpoints
+    )
+    final_loads = np.bincount(workers, minlength=partitioner.num_workers)
+    return SimulationResult(
+        scheme=partitioner.name,
+        num_workers=partitioner.num_workers,
+        num_sources=1,
+        num_messages=int(keys.size),
+        final_loads=final_loads,
+        checkpoint_positions=positions,
+        imbalance_series=series,
+        assignments=workers if keep_assignments else None,
+    )

@@ -1,0 +1,13 @@
+"""Streaming summaries used by the Section VI applications.
+
+* :class:`SpaceSaving` -- the counter-based heavy-hitters sketch of
+  Metwally et al. [23], with the mergeability of Berinde et al. [2]
+  that the paper's error analysis relies on.
+* :class:`StreamingHistogram` -- the Ben-Haim & Tom-Tov approximate
+  histogram [1] underlying the streaming parallel decision tree.
+"""
+
+from repro.sketches.spacesaving import SpaceSaving
+from repro.sketches.histogram import StreamingHistogram
+
+__all__ = ["SpaceSaving", "StreamingHistogram"]

@@ -1,0 +1,177 @@
+"""Ben-Haim & Tom-Tov streaming histograms (JMLR 2010).
+
+The building block of the streaming parallel decision tree
+(Section VI-B): a fixed budget of ``max_bins`` (centroid, count) pairs
+summarises an unbounded stream of reals.  Supports the three operations
+the SPDT algorithm needs:
+
+* ``update(p)``    -- absorb one point, merging the two closest bins
+  when over budget;
+* ``merge(other)`` -- combine two histograms (what the aggregator does
+  with per-worker partials);
+* ``sum(b)`` / ``uniform(B)`` -- interpolated rank queries and candidate
+  split points for the tree-growing procedure.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+class StreamingHistogram:
+    """A bounded-size approximate histogram over a stream of reals."""
+
+    __slots__ = ("max_bins", "_centroids", "_counts", "_total")
+
+    def __init__(self, max_bins: int = 64):
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.max_bins = int(max_bins)
+        self._centroids: List[float] = []
+        self._counts: List[float] = []
+        self._total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._centroids)
+
+    @property
+    def total(self) -> float:
+        """Total weight of points absorbed."""
+        return self._total
+
+    @property
+    def bins(self) -> List[Tuple[float, float]]:
+        """The (centroid, count) pairs, sorted by centroid."""
+        return list(zip(self._centroids, self._counts))
+
+    def update(self, point: float, weight: float = 1.0) -> None:
+        """Absorb one point (procedure *Update* of the paper)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        point = float(point)
+        if math.isnan(point):
+            raise ValueError("cannot add NaN to a histogram")
+        self._total += weight
+        idx = bisect.bisect_left(self._centroids, point)
+        if idx < len(self._centroids) and self._centroids[idx] == point:
+            self._counts[idx] += weight
+            return
+        self._centroids.insert(idx, point)
+        self._counts.insert(idx, weight)
+        if len(self._centroids) > self.max_bins:
+            self._compress(self.max_bins)
+
+    def extend(self, points: Iterable[float]) -> None:
+        for p in points:
+            self.update(p)
+
+    def _compress(self, target: int) -> None:
+        """Repeatedly merge the two closest bins down to ``target``."""
+        cents, counts = self._centroids, self._counts
+        while len(cents) > target:
+            gaps = [cents[i + 1] - cents[i] for i in range(len(cents) - 1)]
+            i = gaps.index(min(gaps))
+            w = counts[i] + counts[i + 1]
+            cents[i] = (cents[i] * counts[i] + cents[i + 1] * counts[i + 1]) / w
+            counts[i] = w
+            del cents[i + 1]
+            del counts[i + 1]
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Combine two histograms (procedure *Merge*).
+
+        The result honours ``max(self.max_bins, other.max_bins)``.
+        """
+        merged = StreamingHistogram(max(self.max_bins, other.max_bins))
+        pairs = sorted(
+            zip(
+                self._centroids + other._centroids,
+                self._counts + other._counts,
+            )
+        )
+        for c, w in pairs:
+            if merged._centroids and merged._centroids[-1] == c:
+                merged._counts[-1] += w
+            else:
+                merged._centroids.append(c)
+                merged._counts.append(w)
+        merged._total = self._total + other._total
+        merged._compress(merged.max_bins)
+        return merged
+
+    def sum(self, b: float) -> float:
+        """Approximate number of points ``<= b`` (procedure *Sum*).
+
+        Uses the paper's trapezoidal interpolation within the bin
+        straddling ``b``.
+        """
+        cents, counts = self._centroids, self._counts
+        if not cents:
+            return 0.0
+        if b < cents[0]:
+            return 0.0
+        if b >= cents[-1]:
+            return self._total
+        i = bisect.bisect_right(cents, b) - 1
+        # Points strictly left of bin i contribute fully; bin i and
+        # i+1 contribute the trapezoid between their centroids.
+        s = sum(counts[:i]) + counts[i] / 2.0
+        ci, cj = cents[i], cents[i + 1]
+        mi, mj = counts[i], counts[i + 1]
+        if cj == ci:
+            return s
+        frac = (b - ci) / (cj - ci)
+        mb = mi + (mj - mi) * frac
+        s += (mi + mb) * frac / 2.0
+        return min(s, self._total)
+
+    def uniform(self, num_points: int) -> List[float]:
+        """Candidate split points at uniform rank quantiles.
+
+        Returns up to ``num_points - 1`` boundaries ``u_j`` such that
+        roughly ``total / num_points`` points fall between consecutive
+        boundaries (procedure *Uniform*) -- the split candidates the
+        decision tree evaluates.
+        """
+        if num_points < 2:
+            raise ValueError(f"num_points must be >= 2, got {num_points}")
+        if not self._centroids:
+            return []
+        out = []
+        for j in range(1, num_points):
+            target = self._total * j / num_points
+            out.append(self._quantile_at(target))
+        return out
+
+    def _quantile_at(self, target: float) -> float:
+        """Invert :meth:`sum` by binary search over the value range."""
+        lo, hi = self._centroids[0], self._centroids[-1]
+        if target <= 0:
+            return lo
+        if target >= self._total:
+            return hi
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.sum(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def mean(self) -> float:
+        """Mean of the summarised stream (exact for the centroids)."""
+        if self._total == 0:
+            return 0.0
+        return sum(c * w for c, w in zip(self._centroids, self._counts)) / self._total
+
+    def memory_bins(self) -> int:
+        """Current number of (centroid, count) pairs held."""
+        return len(self._centroids)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingHistogram(max_bins={self.max_bins}, bins={len(self)}, "
+            f"total={self._total})"
+        )

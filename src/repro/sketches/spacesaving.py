@@ -1,0 +1,161 @@
+"""SPACESAVING: approximate frequent items in bounded space.
+
+Metwally, Agrawal & El Abbadi (ICDT 2005).  Maintains ``capacity``
+counters; a new item evicts the counter with the minimum estimate and
+inherits its count as overestimation error.  Guarantees, for a stream
+of N items:
+
+* every item with true frequency > N / capacity is tracked;
+* for every tracked item, ``true <= estimate <= true + N / capacity``.
+
+Berinde et al. showed summaries are mergeable with additive error --
+the property Section VI-C uses: with shuffle grouping the merged error
+grows with the number of workers W, while PKG merges exactly **two**
+summaries per key, making the error independent of W.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class SpaceSaving:
+    """A SPACESAVING summary with ``capacity`` counters.
+
+    Estimates are stored as ``(count, error)`` pairs: ``count`` is the
+    upper-bound estimate and ``error`` the maximum overestimation
+    inherited at insertion time, so ``count - error`` lower-bounds the
+    true frequency.
+    """
+
+    __slots__ = ("capacity", "_counts", "_errors", "_total")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._counts: Dict = {}
+        self._errors: Dict = {}
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, item) -> bool:
+        return item in self._counts
+
+    @property
+    def total(self) -> int:
+        """Number of stream items offered so far (N)."""
+        return self._total
+
+    def offer(self, item, count: int = 1) -> None:
+        """Feed ``count`` occurrences of ``item`` into the summary."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._total += count
+        counts = self._counts
+        if item in counts:
+            counts[item] += count
+            return
+        if len(counts) < self.capacity:
+            counts[item] = count
+            self._errors[item] = 0
+            return
+        # Evict the minimum counter; the newcomer inherits its count as
+        # overestimation error.
+        victim = min(counts, key=counts.__getitem__)
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[item] = floor + count
+        self._errors[item] = floor
+
+    def extend(self, items: Iterable) -> None:
+        """Offer every element of an iterable."""
+        for item in items:
+            self.offer(item)
+
+    def estimate(self, item) -> int:
+        """Upper-bound frequency estimate (0 if untracked)."""
+        return self._counts.get(item, 0)
+
+    def error(self, item) -> int:
+        """Maximum overestimation of ``item``'s estimate.
+
+        For untracked items the estimate 0 may *under*-estimate by up to
+        the minimum counter value, which is returned here.
+        """
+        if item in self._errors:
+            return self._errors[item]
+        return self.min_count()
+
+    def guaranteed_count(self, item) -> int:
+        """Lower bound on the true frequency of ``item``."""
+        if item in self._counts:
+            return self._counts[item] - self._errors[item]
+        return 0
+
+    def min_count(self) -> int:
+        """The minimum counter value (0 while under capacity)."""
+        if len(self._counts) < self.capacity:
+            return 0
+        return min(self._counts.values())
+
+    def top_k(self, k: int) -> List[Tuple[object, int]]:
+        """The ``k`` items with the largest estimates, descending."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[object, int]]:
+        """Items guaranteed to exceed a ``phi`` fraction of the stream."""
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._total
+        return sorted(
+            (
+                (item, count)
+                for item, count in self._counts.items()
+                if count - self._errors[item] > threshold
+            ),
+            key=lambda kv: -kv[1],
+        )
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Merge with another summary (Berinde et al. style).
+
+        For each item in either summary, the merged estimate sums each
+        side's *upper bound*: the stored estimate where tracked, the
+        side's minimum counter where not (an untracked item's true count
+        never exceeds the minimum counter).  Errors are additive -- the
+        ``sum of Delta_j`` term of Section VI-C -- so the merged
+        invariant ``true <= estimate <= true + error`` is preserved.
+        Items beyond capacity are truncated, keeping the largest.
+        """
+        capacity = max(self.capacity, other.capacity)
+        merged = SpaceSaving(capacity)
+        merged._total = self._total + other._total
+
+        min_self, min_other = self.min_count(), other.min_count()
+        union = set(self._counts) | set(other._counts)
+        entries = []
+        for item in union:
+            count = (
+                self._counts.get(item, min_self)
+                + other._counts.get(item, min_other)
+            )
+            error = self.error(item) + other.error(item)
+            entries.append((count, error, item))
+        entries.sort(key=lambda ce: (-ce[0], repr(ce[2])))
+
+        for count, error, item in entries[:capacity]:
+            merged._counts[item] = count
+            merged._errors[item] = min(error, count)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSaving(capacity={self.capacity}, tracked={len(self)}, "
+            f"total={self._total})"
+        )

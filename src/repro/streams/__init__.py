@@ -1,0 +1,56 @@
+"""Stream substrate: messages, key distributions, and dataset generators.
+
+The paper's evaluation (Section V) runs on eight datasets summarised in
+Table I.  The raw data (Wikipedia page views, Twitter crawls, SNAP
+graphs) is not redistributable, so this package provides synthetic
+equivalents calibrated to the published statistics -- message count, key
+count, and head probability ``p1`` -- which are the quantities that
+determine load-balancing behaviour (see DESIGN.md, "Substitutions").
+"""
+
+from repro.streams.message import Message, stream_messages
+from repro.streams.distributions import (
+    EmpiricalKeyDistribution,
+    KeyDistribution,
+    LogNormalKeyDistribution,
+    UniformKeyDistribution,
+    ZipfKeyDistribution,
+    calibrate_zipf_exponent,
+)
+from repro.streams.datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_stream,
+    get_dataset,
+    list_datasets,
+)
+from repro.streams.drift import DriftingKeyStream
+from repro.streams.graphs import (
+    EdgeStream,
+    scale_free_digraph,
+    degree_sequences,
+)
+from repro.streams.text import SyntheticTextStream, synthetic_vocabulary, tokenize
+
+__all__ = [
+    "Message",
+    "stream_messages",
+    "KeyDistribution",
+    "ZipfKeyDistribution",
+    "LogNormalKeyDistribution",
+    "UniformKeyDistribution",
+    "EmpiricalKeyDistribution",
+    "calibrate_zipf_exponent",
+    "DatasetSpec",
+    "DATASETS",
+    "get_dataset",
+    "list_datasets",
+    "dataset_stream",
+    "DriftingKeyStream",
+    "EdgeStream",
+    "scale_free_digraph",
+    "degree_sequences",
+    "SyntheticTextStream",
+    "synthetic_vocabulary",
+    "tokenize",
+]

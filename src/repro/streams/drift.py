@@ -1,0 +1,121 @@
+"""Streams whose key popularity drifts over time.
+
+The paper's cashtag dataset (CT) exists to test robustness to drift:
+"Popular cash tags change from week to week" (Section V-A).  We model
+drift as a piecewise-stationary process: ranks are drawn from a fixed
+skewed distribution, but the mapping from rank to key identity is
+perturbed at every epoch boundary, so the *identity* of the hot keys
+changes while the *shape* of the distribution does not -- exactly the
+phenomenon the CT experiments probe (Figure 3, bottom row).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.streams.distributions import KeyDistribution
+
+
+class DriftingKeyStream:
+    """Generate a key stream with epochal popularity drift.
+
+    Parameters
+    ----------
+    distribution:
+        The stationary rank distribution (e.g. Zipf calibrated to CT's
+        p1 = 3.29%).
+    epoch_messages:
+        Number of messages per epoch; the rank-to-key mapping changes at
+        each epoch boundary.
+    drift_fraction:
+        Fraction of the key universe whose identity is reshuffled at
+        each boundary, sampled preferentially from the head (popular
+        cashtags change; the long tail is stable).  ``1.0`` reshuffles
+        everything.
+    seed:
+        Seed for both sampling and the drift permutations.
+    """
+
+    def __init__(
+        self,
+        distribution: KeyDistribution,
+        epoch_messages: int,
+        drift_fraction: float = 0.2,
+        seed: int = 0,
+    ):
+        if epoch_messages < 1:
+            raise ValueError(f"epoch_messages must be >= 1, got {epoch_messages}")
+        if not (0.0 <= drift_fraction <= 1.0):
+            raise ValueError(f"drift_fraction must be in [0, 1], got {drift_fraction}")
+        self.distribution = distribution
+        self.epoch_messages = int(epoch_messages)
+        self.drift_fraction = float(drift_fraction)
+        self.seed = int(seed)
+
+    def generate(self, num_messages: int) -> np.ndarray:
+        """Produce ``num_messages`` keys with drift applied.
+
+        Returns an int64 array of key identities in ``[0, K)``.
+        """
+        if num_messages < 0:
+            raise ValueError(f"num_messages must be >= 0, got {num_messages}")
+        rng = np.random.default_rng(self.seed)
+        num_keys = self.distribution.num_keys
+        ranks = self.distribution.sample(num_messages, rng)
+
+        # identity[rank] = key id currently occupying that popularity rank.
+        identity = np.arange(num_keys, dtype=np.int64)
+        num_drifting = max(1, int(round(self.drift_fraction * num_keys)))
+
+        out = np.empty(num_messages, dtype=np.int64)
+        for start in range(0, num_messages, self.epoch_messages):
+            stop = min(start + self.epoch_messages, num_messages)
+            out[start:stop] = identity[ranks[start:stop]]
+            # Reshuffle which keys occupy the top `num_drifting` ranks:
+            # swap them with randomly chosen ranks anywhere in the
+            # universe, so yesterday's hot cashtags cool off and cold
+            # ones heat up.
+            if stop < num_messages and num_keys > 1:
+                victims = rng.integers(0, num_keys, size=num_drifting)
+                for rank, victim in enumerate(victims):
+                    identity[rank], identity[victim] = identity[victim], identity[rank]
+        return out
+
+    def epoch_of(self, message_index: int) -> int:
+        """Epoch number in which a given message index falls."""
+        return message_index // self.epoch_messages
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftingKeyStream(distribution={self.distribution!r}, "
+            f"epoch_messages={self.epoch_messages}, "
+            f"drift_fraction={self.drift_fraction}, seed={self.seed})"
+        )
+
+
+def head_churn(
+    keys: np.ndarray, epoch_messages: int, top: int = 10
+) -> np.ndarray:
+    """Measure drift: per-epoch Jaccard distance between top-key sets.
+
+    Returns, for each epoch boundary, ``1 - |A ∩ B| / |A ∪ B|`` where A
+    and B are the sets of ``top`` most frequent keys in the adjacent
+    epochs.  A stationary stream scores near 0; heavy drift near 1.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    num_epochs = int(np.ceil(len(keys) / epoch_messages))
+    tops = []
+    for e in range(num_epochs):
+        chunk = keys[e * epoch_messages : (e + 1) * epoch_messages]
+        if chunk.size == 0:
+            continue
+        counts = np.bincount(chunk)
+        order = np.argsort(counts)[::-1]
+        tops.append(set(order[:top].tolist()))
+    distances = []
+    for a, b in zip(tops, tops[1:]):
+        union = a | b
+        distances.append(1.0 - len(a & b) / len(union) if union else 0.0)
+    return np.asarray(distances)

@@ -1,0 +1,106 @@
+"""Synthetic text streams: the TW word-stream scenario made concrete.
+
+The paper's Twitter dataset is "a sample of tweets ... parsed and split
+into its words, which are used as the key for the message".  This
+module generates a synthetic corpus with the same pipeline: documents
+(tweets) whose words follow a Zipf law, a tokenizer, and a word-stream
+adapter, so the word-count examples and the DSPE topology can consume
+realistic-looking text rather than pre-baked integer keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.streams.distributions import KeyDistribution, ZipfKeyDistribution
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def synthetic_vocabulary(size: int, seed: int = 0) -> List[str]:
+    """Pronounceable, distinct fake words ordered by popularity rank."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+    words: List[str] = []
+    seen = set()
+    while len(words) < size:
+        syllables = rng.integers(1, 4)
+        word = "".join(
+            _CONSONANTS[rng.integers(0, len(_CONSONANTS))]
+            + _VOWELS[rng.integers(0, len(_VOWELS))]
+            for _ in range(syllables)
+        )
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+class SyntheticTextStream:
+    """A stream of documents whose word frequencies follow ``distribution``.
+
+    Parameters
+    ----------
+    vocabulary_size:
+        Number of distinct words.
+    distribution:
+        Word-rank distribution; defaults to a Zipf(1.05) law, the
+        classic model for natural-language word frequencies.
+    words_per_document:
+        Mean document length (tweet-sized by default); actual lengths
+        are Poisson distributed (min 1).
+    seed:
+        Seeds vocabulary, lengths and word draws.
+    """
+
+    def __init__(
+        self,
+        vocabulary_size: int = 10_000,
+        distribution: Optional[KeyDistribution] = None,
+        words_per_document: float = 12.0,
+        seed: int = 0,
+    ):
+        if words_per_document <= 0:
+            raise ValueError("words_per_document must be positive")
+        self.distribution = distribution or ZipfKeyDistribution(
+            1.05, vocabulary_size
+        )
+        if self.distribution.num_keys != vocabulary_size:
+            raise ValueError(
+                "distribution key universe must match vocabulary_size"
+            )
+        self.vocabulary = synthetic_vocabulary(vocabulary_size, seed)
+        self.words_per_document = float(words_per_document)
+        self.seed = int(seed)
+
+    def documents(self, count: int) -> Iterator[str]:
+        """Yield ``count`` space-joined documents."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        rng = np.random.default_rng(self.seed + 1)
+        lengths = np.maximum(1, rng.poisson(self.words_per_document, count))
+        ranks = self.distribution.sample(int(lengths.sum()), rng)
+        pos = 0
+        for n in lengths:
+            chunk = ranks[pos : pos + n]
+            pos += n
+            yield " ".join(self.vocabulary[r] for r in chunk)
+
+    def words(self, num_words: int) -> Iterator[str]:
+        """Yield a flat stream of ``num_words`` words (the TW pipeline)."""
+        if num_words < 0:
+            raise ValueError(f"num_words must be >= 0, got {num_words}")
+        rng = np.random.default_rng(self.seed + 2)
+        ranks = self.distribution.sample(num_words, rng)
+        vocab = self.vocabulary
+        for r in ranks:
+            yield vocab[r]
+
+
+def tokenize(document: str) -> List[str]:
+    """Split a document into word keys (lower-cased, blank-safe)."""
+    return [w for w in document.lower().split() if w]

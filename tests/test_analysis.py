@@ -1,0 +1,197 @@
+"""Tests for the Section IV analysis module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ChromaticBallsAndBins,
+    expected_used_bins,
+    feasible_workers,
+    find_overpopulated_sets,
+    greedy_d_imbalance,
+    imbalance_lower_bound_hot_key,
+    imbalance_upper_bound,
+    max_useful_choices,
+    mu_measure,
+    satisfies_theorem_hypothesis,
+)
+from repro.analysis.bounds import single_choice_expected_maximum
+from repro.analysis.measures import choice_table, used_bins
+from repro.hashing import HashFamily
+from repro.streams.distributions import UniformKeyDistribution, ZipfKeyDistribution
+
+
+class TestBounds:
+    def test_d2_bound_linear_in_m_over_n(self):
+        assert imbalance_upper_bound(1000, 10, 2) == pytest.approx(100.0)
+
+    def test_d1_bound_larger(self):
+        assert imbalance_upper_bound(1000, 100, 1) > imbalance_upper_bound(
+            1000, 100, 2
+        )
+
+    def test_d1_factor_is_logn_over_loglogn(self):
+        m, n = 10_000, 1000
+        expected = m / n * math.log(n) / math.log(math.log(n))
+        assert imbalance_upper_bound(m, n, 1) == pytest.approx(expected)
+
+    def test_small_n_does_not_crash(self):
+        assert imbalance_upper_bound(100, 2, 1) >= 50.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            imbalance_upper_bound(-1, 10)
+        with pytest.raises(ValueError):
+            imbalance_upper_bound(10, 0)
+        with pytest.raises(ValueError):
+            imbalance_upper_bound(10, 10, 0)
+
+    def test_hot_key_lower_bound_zero_when_feasible(self):
+        assert imbalance_lower_bound_hot_key(10_000, 10, p1=0.1, num_choices=2) == 0.0
+
+    def test_hot_key_lower_bound_linear_when_infeasible(self):
+        # p1 = 0.5 with n = 10, d = 2: rate = 0.25 - 0.1 = 0.15
+        assert imbalance_lower_bound_hot_key(1000, 10, 0.5) == pytest.approx(150.0)
+
+    def test_invalid_p1(self):
+        with pytest.raises(ValueError):
+            imbalance_lower_bound_hot_key(10, 10, 1.5)
+
+    def test_feasible_workers(self):
+        assert feasible_workers(0.0932) == int(2 / 0.0932)
+        assert feasible_workers(0.1, num_choices=1) == 10
+
+    def test_feasible_workers_invalid(self):
+        with pytest.raises(ValueError):
+            feasible_workers(0.0)
+
+    def test_theorem_hypothesis(self):
+        assert satisfies_theorem_hypothesis(100, 10, p1=0.01)
+        assert not satisfies_theorem_hypothesis(99, 10, p1=0.01)  # m < n^2
+        assert not satisfies_theorem_hypothesis(100, 10, p1=0.05)  # p1 > 1/5n
+
+    def test_max_useful_choices(self):
+        assert max_useful_choices(1) == 1
+        assert max_useful_choices(10) == math.ceil(10 * math.log(10))
+
+    def test_single_choice_expected_maximum(self):
+        assert single_choice_expected_maximum(1000, 1) == 1000.0
+        assert single_choice_expected_maximum(1000, 10) > 100.0
+
+
+class TestMuMeasures:
+    def setup_method(self):
+        self.dist = UniformKeyDistribution(50)
+        self.family = HashFamily(size=2, seed=3)
+        self.n = 10
+
+    def test_mu1_of_everything_is_one(self):
+        assert mu_measure(range(self.n), self.dist, self.family, self.n, r=1) == (
+            pytest.approx(1.0)
+        )
+
+    def test_mud_monotone_in_set(self):
+        small = mu_measure((0, 1), self.dist, self.family, self.n)
+        large = mu_measure((0, 1, 2, 3), self.dist, self.family, self.n)
+        assert large >= small
+
+    def test_mud_le_mu1(self):
+        bins = (0, 1, 2)
+        mud = mu_measure(bins, self.dist, self.family, self.n)
+        mu1 = mu_measure(bins, self.dist, self.family, self.n, r=1)
+        assert mud <= mu1 + 1e-12
+
+    def test_r_validation(self):
+        with pytest.raises(ValueError):
+            mu_measure((0,), self.dist, self.family, self.n, r=3)
+
+    def test_hot_key_pair_is_overpopulated(self):
+        # One key with probability ~1: its two bins form an
+        # overpopulated set.
+        dist = ZipfKeyDistribution(8.0, 50)  # p1 ~ 1
+        family = HashFamily(size=2, seed=1)
+        found = find_overpopulated_sets(dist, family, 10, max_size=2)
+        assert found, "the hot pair must be detected"
+        top_bins = set(family.choices(0, 10))
+        assert any(top_bins <= set(bins) for bins, _ in found)
+
+    def test_uniform_distribution_no_small_overpopulated_sets(self):
+        # With p1 = 1/50 <= 1/(5*10) Corollary 4.7 says small sets are
+        # fine w.h.p.
+        found = find_overpopulated_sets(self.dist, self.family, self.n, max_size=2)
+        assert all(len(bins) > 2 for bins, _ in found) or not found
+
+    def test_choice_table_shape(self):
+        table = choice_table(self.dist, self.family, self.n)
+        assert table.shape == (50, 2)
+
+    def test_used_bins_subset(self):
+        bins = used_bins(self.dist, self.family, self.n)
+        assert bins.min() >= 0 and bins.max() < self.n
+
+
+class TestExpectedUsedBins:
+    def test_formula_uniform_n_keys(self):
+        n = 100
+        expected = expected_used_bins(n, n, 2)
+        # n(1 - (1 - 1/n)^{2n}) ~ n(1 - e^-2) ~ 0.8647 n
+        assert expected == pytest.approx(n * (1 - math.exp(-2)), rel=0.01)
+
+    def test_saturates_with_many_keys(self):
+        assert expected_used_bins(10, 10_000, 2) == pytest.approx(10.0, abs=1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_used_bins(0, 10)
+
+    def test_empirical_match(self):
+        n = 50
+        dist = UniformKeyDistribution(n)
+        sizes = [
+            used_bins(dist, HashFamily(size=2, seed=s), n).size for s in range(30)
+        ]
+        assert np.mean(sizes) == pytest.approx(expected_used_bins(n, n, 2), rel=0.06)
+
+
+class TestChromaticProcess:
+    def test_two_choices_beat_one(self):
+        # Theorem 4.1's gap, observed empirically on the extremal
+        # distribution (uniform over 5n keys).
+        n, m = 20, 40_000
+        one = greedy_d_imbalance(n, m, 1, seed=1)
+        two = greedy_d_imbalance(n, m, 2, seed=1)
+        assert two < one
+
+    def test_d2_imbalance_order_m_over_n(self):
+        n, m = 20, 40_000
+        result = ChromaticBallsAndBins(n, 2, seed=2).run(m)
+        # O(m/n) with a modest constant (Theorem 4.1, d >= 2).
+        assert result.imbalance <= 3.0 * m / n
+        assert result.normalized_imbalance <= 3.0
+
+    def test_loads_conserve_balls(self):
+        result = ChromaticBallsAndBins(10, 2, seed=0).run(5000)
+        assert result.loads.sum() == 5000
+
+    def test_d1_vectorized_matches_distribution(self):
+        result = ChromaticBallsAndBins(10, 1, seed=0).run(5000)
+        assert result.loads.sum() == 5000
+
+    def test_three_choices_constant_factor(self):
+        n, m = 20, 20_000
+        two = greedy_d_imbalance(n, m, 2, seed=3)
+        three = greedy_d_imbalance(n, m, 3, seed=3)
+        assert three <= max(2.0 * two, 3.0 * m / n)
+
+    def test_custom_distribution(self):
+        dist = ZipfKeyDistribution(1.0, 500)
+        result = ChromaticBallsAndBins(5, 2, distribution=dist, seed=0).run(10_000)
+        assert result.num_balls == 10_000
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ChromaticBallsAndBins(0, 2)
+        with pytest.raises(ValueError):
+            ChromaticBallsAndBins(5, 0)

@@ -1,0 +1,94 @@
+"""Tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.streams.datasets import DATASETS, dataset_stream, get_dataset, list_datasets
+
+
+class TestRegistry:
+    def test_all_eight_datasets_present(self):
+        assert list_datasets() == ["WP", "TW", "CT", "LN1", "LN2", "LJ", "SL1", "SL2"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset("wp").symbol == "WP"
+
+    def test_unknown_symbol(self):
+        with pytest.raises(KeyError):
+            get_dataset("NOPE")
+
+    def test_paper_statistics_recorded(self):
+        wp = get_dataset("WP")
+        assert wp.paper_messages == 22e6
+        assert wp.paper_p1_percent == 9.32
+
+    def test_scale_factor(self):
+        wp = get_dataset("WP")
+        assert wp.scale_factor == pytest.approx(1_000_000 / 22e6)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("symbol", ["WP", "TW", "SL1", "SL2", "LJ"])
+    def test_zipf_datasets_hit_paper_p1(self, symbol):
+        spec = get_dataset(symbol)
+        keys = spec.stream(150_000, seed=3)
+        assert spec.measured_p1(keys) * 100 == pytest.approx(
+            spec.paper_p1_percent, rel=0.12
+        )
+
+    @pytest.mark.parametrize("symbol", ["LN1", "LN2"])
+    def test_lognormal_datasets_hit_paper_p1(self, symbol):
+        spec = get_dataset(symbol)
+        keys = spec.stream(150_000, seed=3)
+        assert spec.measured_p1(keys) * 100 == pytest.approx(
+            spec.paper_p1_percent, rel=0.1
+        )
+
+    def test_ct_drift_global_p1(self):
+        spec = get_dataset("CT")
+        keys = spec.stream(345_000, seed=7)
+        # Drift dilutes the global head; the boost recalibrates it.
+        assert spec.measured_p1(keys) * 100 == pytest.approx(3.29, rel=0.25)
+
+
+class TestStreams:
+    def test_default_length(self):
+        spec = get_dataset("LN2")
+        assert spec.stream().size == spec.default_messages
+
+    def test_explicit_length(self):
+        assert get_dataset("WP").stream(1234).size == 1234
+
+    def test_seed_reproducibility(self):
+        a = get_dataset("WP").stream(5000, seed=1)
+        b = get_dataset("WP").stream(5000, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = get_dataset("WP").stream(5000, seed=1)
+        b = get_dataset("WP").stream(5000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_keys_within_universe(self):
+        spec = get_dataset("CT")
+        keys = spec.stream(50_000, seed=0)
+        assert keys.min() >= 0
+        assert keys.max() < spec.num_keys
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            get_dataset("WP").stream(-5)
+
+    def test_dataset_stream_shorthand(self):
+        keys = dataset_stream("LN2", 1000, seed=4)
+        assert keys.size == 1000
+
+    def test_measured_p1_empty(self):
+        assert get_dataset("WP").measured_p1(np.array([], dtype=np.int64)) == 0.0
+
+    def test_unknown_kind_raises(self):
+        import dataclasses
+
+        spec = dataclasses.replace(get_dataset("WP"), kind="banana")
+        with pytest.raises(ValueError):
+            spec.distribution()

@@ -1,0 +1,162 @@
+"""Tests for the streaming parallel decision tree (Section VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import StreamingParallelDecisionTree
+from repro.applications.decision_tree import TreeNode, entropy
+from repro.partitioning import PartialKeyGrouping, ShuffleGrouping
+
+
+def separable_data(n=3000, num_features=4, seed=0, threshold=0.3, feature=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, num_features))
+    y = (X[:, feature] > threshold).astype(int)
+    return X, y
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy({0: 10}) == 0.0
+
+    def test_balanced_binary_is_ln2(self):
+        assert entropy({0: 5, 1: 5}) == pytest.approx(np.log(2))
+
+    def test_empty_is_zero(self):
+        assert entropy({}) == 0.0
+
+
+class TestTreeNode:
+    def test_leaf_detection(self):
+        node = TreeNode(node_id=0, depth=0)
+        assert node.is_leaf
+        node.feature = 1
+        assert not node.is_leaf
+
+    def test_majority_class(self):
+        node = TreeNode(node_id=0, depth=0, class_counts={0: 3, 1: 7})
+        assert node.majority_class() == 1
+
+    def test_majority_empty(self):
+        assert TreeNode(node_id=0, depth=0).majority_class() is None
+
+
+class TestTraining:
+    def test_learns_separable_data_pkg(self):
+        X, y = separable_data()
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(6), num_features=4, num_classes=2
+        )
+        tree.fit_stream(X, y)
+        assert tree.num_leaves >= 2  # it split
+        assert tree.accuracy(X, y) > 0.9
+
+    def test_learns_separable_data_sg(self):
+        X, y = separable_data()
+        tree = StreamingParallelDecisionTree(
+            ShuffleGrouping(6), num_features=4, num_classes=2
+        )
+        tree.fit_stream(X, y)
+        assert tree.accuracy(X, y) > 0.9
+
+    def test_split_feature_is_informative(self):
+        X, y = separable_data(feature=2)
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(6), num_features=4, num_classes=2, max_depth=1
+        )
+        tree.fit_stream(X, y)
+        assert tree.root.feature == 2
+        assert abs(tree.root.threshold - 0.3) < 0.3
+
+    def test_max_depth_respected(self):
+        X, y = separable_data(6000)
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(6), num_features=4, num_classes=2, max_depth=2
+        )
+        tree.fit_stream(X, y)
+        assert tree.depth <= 2
+
+    def test_pure_stream_never_splits(self):
+        X = np.random.default_rng(0).normal(size=(1000, 3))
+        y = np.zeros(1000, dtype=int)
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(4), num_features=3, num_classes=2
+        )
+        tree.fit_stream(X, y)
+        assert tree.num_leaves == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingParallelDecisionTree(
+                PartialKeyGrouping(4), num_features=0, num_classes=2
+            )
+        with pytest.raises(ValueError):
+            StreamingParallelDecisionTree(
+                PartialKeyGrouping(4), num_features=3, num_classes=1
+            )
+
+
+class TestCosts:
+    def test_pkg_histogram_bound(self):
+        X, y = separable_data()
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(8), num_features=4, num_classes=2
+        )
+        tree.fit_stream(X, y)
+        # 2 * D * C * L (Section VI-B)
+        assert tree.histogram_count() <= 2 * 4 * 2 * tree.num_leaves
+
+    def test_sg_histogram_count_exceeds_pkg(self):
+        X, y = separable_data()
+        pkg = StreamingParallelDecisionTree(
+            PartialKeyGrouping(8), num_features=4, num_classes=2
+        )
+        sg = StreamingParallelDecisionTree(
+            ShuffleGrouping(8), num_features=4, num_classes=2
+        )
+        pkg.fit_stream(X, y)
+        sg.fit_stream(X, y)
+        assert pkg.histogram_count() < sg.histogram_count()
+
+    def test_merge_operations_fewer_under_pkg(self):
+        X, y = separable_data()
+        pkg = StreamingParallelDecisionTree(
+            PartialKeyGrouping(8), num_features=4, num_classes=2
+        )
+        sg = StreamingParallelDecisionTree(
+            ShuffleGrouping(8), num_features=4, num_classes=2
+        )
+        pkg.fit_stream(X, y)
+        sg.fit_stream(X, y)
+        assert pkg.stats.merge_operations < sg.stats.merge_operations
+
+    def test_split_drops_old_histograms(self):
+        X, y = separable_data()
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(6), num_features=4, num_classes=2, max_depth=1
+        )
+        tree.fit_stream(X, y)
+        assert tree.num_leaves == 2
+        root_id = tree.root.node_id
+        for hists in tree.worker_histograms:
+            assert all(key[0] != root_id for key in hists)
+
+    def test_worker_loads_bounded_by_messages(self):
+        X, y = separable_data()
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(6), num_features=4, num_classes=2
+        )
+        tree.fit_stream(X, y)
+        loads = tree.worker_loads()
+        # Splits discard the split leaf's histograms, so live totals
+        # can only undercount the messages ever routed.
+        assert 0 < sum(loads) <= tree.stats.feature_messages
+
+    def test_stats_counts(self):
+        X, y = separable_data(500)
+        tree = StreamingParallelDecisionTree(
+            PartialKeyGrouping(6), num_features=4, num_classes=2
+        )
+        tree.fit_stream(X, y)
+        assert tree.stats.instances == 500
+        assert tree.stats.feature_messages == 500 * 4

@@ -1,0 +1,160 @@
+"""Tests for repro.streams.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.streams.distributions import (
+    EmpiricalKeyDistribution,
+    LogNormalKeyDistribution,
+    UniformKeyDistribution,
+    ZipfKeyDistribution,
+    calibrate_zipf_exponent,
+    zipf_p1,
+)
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        d = ZipfKeyDistribution(1.2, 1000)
+        assert d.probabilities.sum() == pytest.approx(1.0)
+
+    def test_sorted_descending(self):
+        p = ZipfKeyDistribution(0.8, 500).probabilities
+        assert np.all(np.diff(p) <= 0)
+
+    def test_p1_matches_formula(self):
+        d = ZipfKeyDistribution(1.5, 100)
+        assert d.p1 == pytest.approx(zipf_p1(1.5, 100))
+
+    def test_zero_exponent_is_uniform(self):
+        d = ZipfKeyDistribution(0.0, 10)
+        assert np.allclose(d.probabilities, 0.1)
+
+    def test_higher_exponent_more_skew(self):
+        assert ZipfKeyDistribution(2.0, 100).p1 > ZipfKeyDistribution(1.0, 100).p1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ZipfKeyDistribution(1.0, 0)
+        with pytest.raises(ValueError):
+            ZipfKeyDistribution(-1.0, 10)
+
+    def test_sampling_respects_head(self):
+        d = ZipfKeyDistribution(1.5, 1000)
+        keys = d.sample(50_000, np.random.default_rng(0))
+        counts = np.bincount(keys, minlength=1000)
+        measured_p1 = counts.max() / keys.size
+        assert measured_p1 == pytest.approx(d.p1, rel=0.05)
+
+    def test_sampling_deterministic_with_seed(self):
+        d = ZipfKeyDistribution(1.1, 100)
+        a = d.sample(1000, np.random.default_rng(3))
+        b = d.sample(1000, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_sample_size_zero(self):
+        d = ZipfKeyDistribution(1.1, 100)
+        assert d.sample(0, np.random.default_rng(0)).size == 0
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfKeyDistribution(1.1, 100).sample(-1)
+
+    def test_keys_in_range(self):
+        d = ZipfKeyDistribution(1.3, 50)
+        keys = d.sample(10_000, np.random.default_rng(1))
+        assert keys.min() >= 0 and keys.max() < 50
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.02, 0.0932, 0.1471, 0.3])
+    def test_hits_target(self, target):
+        exponent = calibrate_zipf_exponent(10_000, target)
+        assert zipf_p1(exponent, 10_000) == pytest.approx(target, rel=1e-4)
+
+    def test_below_uniform_floor_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(10, 0.05)  # floor is 0.1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(100, 0.0)
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(100, 1.0)
+
+    def test_monotone_in_target(self):
+        lo = calibrate_zipf_exponent(1000, 0.05)
+        hi = calibrate_zipf_exponent(1000, 0.2)
+        assert hi > lo
+
+
+class TestUniform:
+    def test_flat(self):
+        d = UniformKeyDistribution(8)
+        assert np.allclose(d.probabilities, 1 / 8)
+
+    def test_p1(self):
+        assert UniformKeyDistribution(20).p1 == pytest.approx(0.05)
+
+    def test_entropy_is_log_k(self):
+        d = UniformKeyDistribution(64)
+        assert d.entropy() == pytest.approx(np.log(64))
+
+
+class TestLogNormal:
+    def test_paper_ln1_p1(self):
+        d = LogNormalKeyDistribution(1.789, 2.366, 16_000)
+        assert d.p1 * 100 == pytest.approx(14.71, abs=0.05)
+
+    def test_paper_ln2_p1(self):
+        d = LogNormalKeyDistribution(2.245, 1.133, 1_100)
+        assert d.p1 * 100 == pytest.approx(7.01, abs=0.05)
+
+    def test_probabilities_normalised(self):
+        d = LogNormalKeyDistribution(1.0, 1.0, 500)
+        assert d.probabilities.sum() == pytest.approx(1.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormalKeyDistribution(1.0, 0.0, 10)
+
+    def test_sampled_head_matches(self):
+        d = LogNormalKeyDistribution(2.245, 1.133, 1_100)
+        keys = d.sample(100_000, np.random.default_rng(2))
+        counts = np.bincount(keys)
+        assert counts.max() / keys.size == pytest.approx(d.p1, rel=0.05)
+
+
+class TestEmpirical:
+    def test_from_weights(self):
+        d = EmpiricalKeyDistribution([3, 1, 6])
+        assert d.probabilities[0] == pytest.approx(0.6)
+        assert d.num_keys == 3
+
+    def test_from_stream(self):
+        keys = np.array([0, 0, 0, 1, 2, 2])
+        d = EmpiricalKeyDistribution.from_stream(keys)
+        assert d.p1 == pytest.approx(0.5)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            EmpiricalKeyDistribution([1, -2]).probabilities
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            EmpiricalKeyDistribution([0.0, 0.0]).probabilities
+
+
+class TestCommonProperties:
+    def test_head_mass(self):
+        d = ZipfKeyDistribution(1.0, 100)
+        assert d.head_mass(100) == pytest.approx(1.0)
+        assert 0 < d.head_mass(1) == d.p1
+
+    def test_feasible_workers(self):
+        d = UniformKeyDistribution(10)  # p1 = 0.1
+        assert d.feasible_workers() == 20
+
+    def test_expected_counts(self):
+        d = UniformKeyDistribution(4)
+        assert np.allclose(d.expected_counts(100), 25.0)

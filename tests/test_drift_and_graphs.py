@@ -1,0 +1,123 @@
+"""Tests for drift streams and scale-free graph streams."""
+
+import numpy as np
+import pytest
+
+from repro.streams.distributions import ZipfKeyDistribution
+from repro.streams.drift import DriftingKeyStream, head_churn
+from repro.streams.graphs import EdgeStream, degree_sequences, scale_free_digraph
+
+
+class TestDrift:
+    def make(self, drift_fraction=0.3, epoch=5000):
+        dist = ZipfKeyDistribution(1.2, 500)
+        return DriftingKeyStream(
+            dist, epoch_messages=epoch, drift_fraction=drift_fraction, seed=1
+        )
+
+    def test_generates_requested_length(self):
+        assert self.make().generate(12_345).size == 12_345
+
+    def test_keys_in_universe(self):
+        keys = self.make().generate(20_000)
+        assert keys.min() >= 0 and keys.max() < 500
+
+    def test_deterministic(self):
+        a = self.make().generate(10_000)
+        b = self.make().generate(10_000)
+        assert np.array_equal(a, b)
+
+    def test_drift_changes_top_keys(self):
+        keys = self.make().generate(50_000)
+        churn = head_churn(keys, 5000, top=5)
+        assert churn.mean() > 0.2  # the head visibly rotates
+
+    def test_no_drift_when_fraction_zero_epochs_one(self):
+        dist = ZipfKeyDistribution(1.2, 500)
+        stream = DriftingKeyStream(dist, epoch_messages=10**9, seed=1)
+        keys = stream.generate(30_000)
+        churn = head_churn(keys, 10_000, top=5)
+        assert churn.mean() < 0.5  # single identity mapping, stable head
+
+    def test_epoch_of(self):
+        s = self.make(epoch=100)
+        assert s.epoch_of(0) == 0
+        assert s.epoch_of(99) == 0
+        assert s.epoch_of(100) == 1
+
+    def test_invalid_args(self):
+        dist = ZipfKeyDistribution(1.0, 10)
+        with pytest.raises(ValueError):
+            DriftingKeyStream(dist, epoch_messages=0)
+        with pytest.raises(ValueError):
+            DriftingKeyStream(dist, epoch_messages=10, drift_fraction=1.5)
+        with pytest.raises(ValueError):
+            DriftingKeyStream(dist, epoch_messages=10).generate(-1)
+
+    def test_global_p1_diluted_vs_stationary(self):
+        dist = ZipfKeyDistribution(1.5, 500)
+        keys = DriftingKeyStream(
+            dist, epoch_messages=5000, drift_fraction=0.5, seed=2
+        ).generate(50_000)
+        counts = np.bincount(keys, minlength=500)
+        assert counts.max() / keys.size < dist.p1
+
+
+class TestScaleFreeDigraph:
+    def test_edge_count(self):
+        src, dst = scale_free_digraph(10_000, seed=0)
+        assert src.size == dst.size == 10_000
+
+    def test_deterministic(self):
+        a = scale_free_digraph(5000, seed=3)
+        b = scale_free_digraph(5000, seed=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_in_degree_skewed(self):
+        src, dst = scale_free_digraph(50_000, seed=1)
+        _, in_deg = degree_sequences(src, dst)
+        # A power-law head: the hottest node far exceeds the mean.
+        assert in_deg.max() > 20 * in_deg[in_deg > 0].mean()
+
+    def test_out_degree_skewed(self):
+        src, dst = scale_free_digraph(50_000, seed=1)
+        out_deg, _ = degree_sequences(src, dst)
+        assert out_deg.max() > 20 * out_deg[out_deg > 0].mean()
+
+    def test_hub_mass_near_lj_target(self):
+        src, dst = scale_free_digraph(200_000, seed=1)
+        _, in_deg = degree_sequences(src, dst)
+        p1 = in_deg.max() / dst.size
+        assert 0.001 < p1 < 0.01  # LJ's 0.29% regime
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            scale_free_digraph(0)
+        with pytest.raises(ValueError):
+            scale_free_digraph(10, alpha=0, beta=0, gamma=0)
+
+
+class TestEdgeStream:
+    def test_generate(self):
+        stream = EdgeStream.generate(5000, seed=2)
+        assert len(stream) == 5000
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            EdgeStream(np.array([1, 2]), np.array([1]))
+
+    def test_from_graph_shuffles(self):
+        src, dst = scale_free_digraph(5000, seed=4)
+        ordered = EdgeStream.from_graph(src, dst)
+        shuffled = EdgeStream.from_graph(src, dst, shuffle_seed=9)
+        assert not np.array_equal(ordered.worker_keys, shuffled.worker_keys)
+        assert np.array_equal(
+            np.sort(ordered.worker_keys), np.sort(shuffled.worker_keys)
+        )
+
+    def test_edge_pairs_preserved_under_shuffle(self):
+        src, dst = scale_free_digraph(3000, seed=5)
+        stream = EdgeStream.from_graph(src, dst, shuffle_seed=6)
+        original = set(zip(src.tolist(), dst.tolist()))
+        shuffled = set(zip(stream.source_keys.tolist(), stream.worker_keys.tolist()))
+        assert original == shuffled

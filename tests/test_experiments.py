@@ -1,0 +1,222 @@
+"""Tests for the experiment harnesses (tiny scale).
+
+Each harness must run end to end, produce the expected row structure,
+and reproduce the paper's *ordering* claims at reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_dchoices,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5a,
+    format_fig5b,
+    format_jaccard,
+    format_probing,
+    format_table1,
+    format_table2,
+    run_dchoices_ablation,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+    run_jaccard,
+    run_probing_ablation,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.fig5a import degradations
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ExperimentConfig(
+        scale=0.02,
+        workers=(5, 10),
+        sources=(5,),
+        num_checkpoints=20,
+        cluster_duration=3.0,
+        cluster_warmup=1.0,
+    )
+
+
+class TestConfig:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0.0)
+
+    def test_messages_floor(self):
+        from repro.streams import get_dataset
+
+        cfg = ExperimentConfig(scale=1e-9)
+        assert cfg.messages_for(get_dataset("WP")) == 10_000
+
+
+class TestTable1:
+    def test_all_datasets_present(self, tiny):
+        rows = run_table1(tiny)
+        assert [r.symbol for r in rows] == [
+            "WP", "TW", "CT", "LN1", "LN2", "LJ", "SL1", "SL2",
+        ]
+
+    def test_p1_calibration_close(self, tiny):
+        for r in run_table1(tiny):
+            assert r.p1_relative_error < 0.35  # tiny streams are noisy
+
+    def test_format(self, tiny):
+        text = format_table1(run_table1(tiny))
+        assert "Table I" in text and "WP" in text
+
+
+class TestTable2:
+    def test_row_grid_complete(self, tiny):
+        rows = run_table2(tiny, datasets=("WP",))
+        assert len(rows) == len(tiny.workers) * 5  # 5 schemes
+
+    def test_hashing_worst_pkg_best_in_feasible_regime(self, tiny):
+        rows = run_table2(tiny, datasets=("WP",))
+        at5 = {r.scheme: r.average_imbalance for r in rows if r.num_workers == 5}
+        assert at5["PKG"] < at5["H"]
+        assert at5["PKG"] <= at5["PoTC"]
+
+    def test_format(self, tiny):
+        text = format_table2(run_table2(tiny, datasets=("WP",)))
+        assert "Off-Greedy" in text
+
+
+class TestFig2:
+    def test_structure_and_ordering(self, tiny):
+        rows = run_fig2(tiny, datasets=("WP",))
+        techniques = {r.technique for r in rows}
+        assert techniques == {"H", "G", "L5"}
+        h = next(r for r in rows if r.technique == "H" and r.num_workers == 5)
+        l5 = next(r for r in rows if r.technique == "L5" and r.num_workers == 5)
+        g = next(r for r in rows if r.technique == "G" and r.num_workers == 5)
+        assert l5.average_imbalance_fraction < h.average_imbalance_fraction
+        # local within an order of magnitude of global
+        assert l5.average_imbalance_fraction <= 10 * max(
+            g.average_imbalance_fraction, 1e-9
+        )
+
+    def test_format(self, tiny):
+        assert "Figure 2" in format_fig2(run_fig2(tiny, datasets=("WP",)))
+
+
+class TestFig3:
+    def test_series_structure(self, tiny):
+        series = run_fig3(tiny, cases=(("WP", 10),))
+        assert [s.technique for s in series] == ["G", "L5", "L5P1"]
+        for s in series:
+            assert s.hours.size == s.imbalance_fraction.size > 0
+
+    def test_probing_no_better_than_local(self, tiny):
+        series = run_fig3(tiny, cases=(("WP", 10),))
+        by = {s.technique: s for s in series}
+        assert by["L5P1"].mean_fraction <= 10 * by["L5"].mean_fraction + 1e-9
+
+    def test_format(self, tiny):
+        assert "Figure 3" in format_fig3(run_fig3(tiny, cases=(("WP", 10),)))
+
+
+class TestFig4:
+    def test_skewed_close_to_uniform(self, tiny):
+        rows = run_fig4(tiny, datasets=("LJ",))
+        for s in tiny.sources:
+            for w in tiny.workers:
+                uniform = next(
+                    r
+                    for r in rows
+                    if r.split == "uniform" and r.num_sources == s and r.num_workers == w
+                )
+                skewed = next(
+                    r
+                    for r in rows
+                    if r.split == "skewed" and r.num_sources == s and r.num_workers == w
+                )
+                assert skewed.average_imbalance_fraction <= (
+                    3 * uniform.average_imbalance_fraction + 1e-6
+                )
+
+    def test_format(self, tiny):
+        assert "Figure 4" in format_fig4(run_fig4(tiny, datasets=("LJ",)))
+
+
+class TestFig5a:
+    def test_shape(self, tiny):
+        rows = run_fig5a(tiny, delays=(0.1e-3, 1.0e-3))
+        assert len(rows) == 6
+        kg_hi = next(r for r in rows if r.scheme == "KG" and r.cpu_delay == 1.0e-3)
+        pkg_hi = next(r for r in rows if r.scheme == "PKG" and r.cpu_delay == 1.0e-3)
+        sg_hi = next(r for r in rows if r.scheme == "SG" and r.cpu_delay == 1.0e-3)
+        assert kg_hi.throughput < pkg_hi.throughput
+        assert abs(pkg_hi.throughput - sg_hi.throughput) < 0.15 * sg_hi.throughput
+        assert kg_hi.mean_latency > pkg_hi.mean_latency
+
+    def test_degradations(self, tiny):
+        rows = run_fig5a(tiny, delays=(0.1e-3, 1.0e-3))
+        degr = degradations(rows)
+        assert degr["KG"] > degr["PKG"]
+
+    def test_format(self, tiny):
+        text = format_fig5a(run_fig5a(tiny, delays=(0.1e-3, 1.0e-3)))
+        assert "Figure 5(a)" in text and "throughput loss" in text
+
+
+class TestFig5b:
+    def test_pkg_dominates_sg(self, tiny):
+        rows = run_fig5b(tiny, periods=(1.0, 2.0))
+        for period in (1.0, 2.0):
+            pkg = next(
+                r for r in rows if r.scheme == "PKG" and r.aggregation_period == period
+            )
+            sg = next(
+                r for r in rows if r.scheme == "SG" and r.aggregation_period == period
+            )
+            assert pkg.average_memory_counters < sg.average_memory_counters
+            assert pkg.throughput >= 0.9 * sg.throughput
+
+    def test_kg_reference_present(self, tiny):
+        rows = run_fig5b(tiny, periods=(1.0,))
+        assert any(r.scheme == "KG" for r in rows)
+
+    def test_format(self, tiny):
+        assert "Figure 5(b)" in format_fig5b(run_fig5b(tiny, periods=(1.0,)))
+
+
+class TestExtras:
+    def test_jaccard_in_range_and_balanced(self, tiny):
+        row = run_jaccard(tiny)
+        assert 0.0 < row.jaccard < 1.0
+        assert "Jaccard" in format_jaccard(row)
+
+    def test_dchoices_d1_worst(self, tiny):
+        rows = run_dchoices_ablation(tiny, choices=(1, 2, 3))
+        by = {r.num_choices: r.average_imbalance_fraction for r in rows}
+        assert by[1] > by[2]
+        assert by[3] <= by[2] * 2  # constant factor only
+        assert "Ablation" in format_dchoices(rows)
+
+    def test_probing_rows(self, tiny):
+        rows = run_probing_ablation(tiny, periods_minutes=(0.0, 1.0))
+        assert len(rows) == 2
+        assert "probing" in format_probing(rows).lower()
+
+
+class TestCLI:
+    def test_main_runs_one_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_main_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

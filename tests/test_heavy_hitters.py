@@ -1,0 +1,102 @@
+"""Tests for distributed heavy hitters (Section VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import DistributedHeavyHitters, exact_top_k
+from repro.partitioning import KeyGrouping, PartialKeyGrouping, ShuffleGrouping
+from repro.streams.distributions import ZipfKeyDistribution
+
+
+def stream(m=20_000, seed=0):
+    return ZipfKeyDistribution(1.2, 2000).sample(
+        m, np.random.default_rng(seed)
+    ).tolist()
+
+
+class TestTracking:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: KeyGrouping(6),
+            lambda: ShuffleGrouping(6),
+            lambda: PartialKeyGrouping(6),
+        ],
+        ids=["KG", "SG", "PKG"],
+    )
+    def test_recovers_true_top_k(self, make):
+        items = stream()
+        hh = DistributedHeavyHitters(make(), capacity=256)
+        hh.process_stream(items)
+        found = {k for k, _ in hh.top_k(10)}
+        truth = {k for k, _ in exact_top_k(items, 10)}
+        assert len(found & truth) >= 9
+
+    def test_estimates_upper_bound_truth_for_heavy_items(self):
+        items = stream()
+        hh = DistributedHeavyHitters(PartialKeyGrouping(6), capacity=256)
+        hh.process_stream(items)
+        truth = dict(exact_top_k(items, 20))
+        for item, true_count in truth.items():
+            assert hh.estimate(item) >= true_count * 0.95
+
+    def test_error_within_bound(self):
+        items = stream()
+        hh = DistributedHeavyHitters(PartialKeyGrouping(6), capacity=256)
+        hh.process_stream(items)
+        truth = dict(exact_top_k(items, 50))
+        for item, true_count in truth.items():
+            est = hh.estimate(item)
+            assert est - true_count <= hh.error_bound(item)
+
+
+class TestProbeCosts:
+    def test_kg_probes_one(self):
+        hh = DistributedHeavyHitters(KeyGrouping(8), capacity=16)
+        hh.process_stream(stream(1000))
+        assert all(hh.summaries_probed(k) == 1 for k in range(20))
+
+    def test_pkg_probes_at_most_two(self):
+        hh = DistributedHeavyHitters(PartialKeyGrouping(8), capacity=16)
+        hh.process_stream(stream(1000))
+        assert all(1 <= hh.summaries_probed(k) <= 2 for k in range(20))
+
+    def test_sg_probes_all(self):
+        hh = DistributedHeavyHitters(ShuffleGrouping(8), capacity=16)
+        hh.process_stream(stream(1000))
+        assert hh.summaries_probed(0) == 8
+
+    def test_pkg_error_bound_independent_of_w(self):
+        # Section VI-C: PKG's per-item error involves two summaries
+        # regardless of W; SG's involves all W.
+        items = stream()
+        for W in (4, 16):
+            pkg = DistributedHeavyHitters(PartialKeyGrouping(W), capacity=64)
+            sg = DistributedHeavyHitters(ShuffleGrouping(W), capacity=64)
+            pkg.process_stream(items)
+            sg.process_stream(items)
+            hot = exact_top_k(items, 1)[0][0]
+            assert pkg.summaries_probed(hot) <= 2
+            assert sg.summaries_probed(hot) == W
+
+
+class TestBalanceAndMerge:
+    def test_pkg_load_below_kg(self):
+        items = stream(30_000)
+        kg = DistributedHeavyHitters(KeyGrouping(8), capacity=64)
+        pkg = DistributedHeavyHitters(PartialKeyGrouping(8), capacity=64)
+        kg.process_stream(items)
+        pkg.process_stream(items)
+        assert pkg.load_imbalance() < kg.load_imbalance()
+
+    def test_merged_summary_total(self):
+        items = stream(5000)
+        hh = DistributedHeavyHitters(PartialKeyGrouping(4), capacity=64)
+        hh.process_stream(items)
+        assert hh.merged_summary().total == 5000
+
+    def test_worker_loads_conserve(self):
+        items = stream(5000)
+        hh = DistributedHeavyHitters(ShuffleGrouping(4), capacity=64)
+        hh.process_stream(items)
+        assert sum(hh.worker_loads) == 5000

@@ -1,0 +1,163 @@
+"""Tests for the Ben-Haim & Tom-Tov streaming histogram."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import StreamingHistogram
+
+
+class TestUpdate:
+    def test_exact_below_budget(self):
+        h = StreamingHistogram(8)
+        for x in (1.0, 2.0, 3.0):
+            h.update(x)
+        assert h.bins == [(1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]
+
+    def test_duplicate_points_merge(self):
+        h = StreamingHistogram(8)
+        h.update(2.0)
+        h.update(2.0)
+        assert h.bins == [(2.0, 2.0)]
+
+    def test_bin_budget_respected(self):
+        h = StreamingHistogram(4)
+        h.extend(np.linspace(0, 1, 100))
+        assert len(h) <= 4
+
+    def test_total_preserved_by_compression(self):
+        h = StreamingHistogram(4)
+        h.extend(range(50))
+        assert h.total == 50
+        assert sum(w for _, w in h.bins) == pytest.approx(50)
+
+    def test_closest_bins_merge_first(self):
+        h = StreamingHistogram(2)
+        h.update(0.0)
+        h.update(10.0)
+        h.update(10.1)  # closest pair is (10, 10.1)
+        cents = [c for c, _ in h.bins]
+        assert cents[0] == 0.0
+        assert cents[1] == pytest.approx(10.05)
+
+    def test_weight_argument(self):
+        h = StreamingHistogram(4)
+        h.update(1.0, weight=5.0)
+        assert h.total == 5.0
+
+    def test_invalid_inputs(self):
+        h = StreamingHistogram(4)
+        with pytest.raises(ValueError):
+            h.update(1.0, weight=0)
+        with pytest.raises(ValueError):
+            h.update(float("nan"))
+        with pytest.raises(ValueError):
+            StreamingHistogram(1)
+
+    def test_mean_tracks_stream(self):
+        h = StreamingHistogram(16)
+        data = np.random.default_rng(0).normal(5.0, 1.0, 2000)
+        h.extend(data)
+        assert h.mean() == pytest.approx(data.mean(), abs=0.1)
+
+
+class TestSum:
+    def test_sum_empty(self):
+        assert StreamingHistogram(4).sum(1.0) == 0.0
+
+    def test_sum_below_all(self):
+        h = StreamingHistogram(4)
+        h.extend([1.0, 2.0])
+        assert h.sum(0.0) == 0.0
+
+    def test_sum_above_all(self):
+        h = StreamingHistogram(4)
+        h.extend([1.0, 2.0])
+        assert h.sum(5.0) == 2.0
+
+    def test_sum_monotone(self):
+        h = StreamingHistogram(16)
+        h.extend(np.random.default_rng(1).uniform(0, 10, 1000))
+        points = np.linspace(-1, 11, 50)
+        values = [h.sum(b) for b in points]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_sum_accuracy_on_uniform(self):
+        h = StreamingHistogram(64)
+        data = np.random.default_rng(2).uniform(0, 1, 5000)
+        h.extend(data)
+        for q in (0.25, 0.5, 0.75):
+            true = (data <= q).sum()
+            assert h.sum(q) == pytest.approx(true, rel=0.08)
+
+    def test_sum_accuracy_on_gaussian(self):
+        h = StreamingHistogram(64)
+        data = np.random.default_rng(3).normal(0, 1, 5000)
+        h.extend(data)
+        true_median_rank = (data <= 0.0).sum()
+        assert h.sum(0.0) == pytest.approx(true_median_rank, rel=0.08)
+
+
+class TestUniform:
+    def test_split_points_count(self):
+        h = StreamingHistogram(32)
+        h.extend(np.random.default_rng(4).uniform(0, 1, 2000))
+        points = h.uniform(10)
+        assert len(points) == 9
+
+    def test_split_points_sorted(self):
+        h = StreamingHistogram(32)
+        h.extend(np.random.default_rng(5).normal(0, 1, 2000))
+        points = h.uniform(8)
+        assert points == sorted(points)
+
+    def test_split_points_are_quantiles(self):
+        h = StreamingHistogram(64)
+        data = np.random.default_rng(6).uniform(0, 100, 5000)
+        h.extend(data)
+        median = h.uniform(2)[0]
+        assert median == pytest.approx(50.0, abs=5.0)
+
+    def test_empty_histogram(self):
+        assert StreamingHistogram(4).uniform(4) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(4).uniform(1)
+
+
+class TestMerge:
+    def test_totals_add(self):
+        a, b = StreamingHistogram(8), StreamingHistogram(8)
+        a.extend([1, 2, 3])
+        b.extend([4, 5])
+        assert a.merge(b).total == 5
+
+    def test_merge_respects_budget(self):
+        a, b = StreamingHistogram(8), StreamingHistogram(8)
+        a.extend(range(50))
+        b.extend(range(100, 150))
+        assert len(a.merge(b)) <= 8
+
+    def test_merge_equals_union_stream_approximately(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(0, 1, 4000)
+        a, b = StreamingHistogram(64), StreamingHistogram(64)
+        a.extend(data[:2000])
+        b.extend(data[2000:])
+        merged = a.merge(b)
+        whole = StreamingHistogram(64)
+        whole.extend(data)
+        for q in (-1.0, 0.0, 1.0):
+            assert merged.sum(q) == pytest.approx(whole.sum(q), rel=0.1)
+
+    def test_merge_empty(self):
+        a = StreamingHistogram(8)
+        b = StreamingHistogram(8)
+        a.extend([1.0])
+        merged = a.merge(b)
+        assert merged.total == 1.0
+
+    def test_memory_bins(self):
+        h = StreamingHistogram(8)
+        h.extend(range(20))
+        assert h.memory_bins() == len(h) <= 8

@@ -1,0 +1,58 @@
+"""Tests for the message model."""
+
+import numpy as np
+import pytest
+
+from repro.streams.message import Message, keys_of, stream_messages
+
+
+class TestMessage:
+    def test_fields(self):
+        m = Message(1.5, "word", 42)
+        assert (m.timestamp, m.key, m.value) == (1.5, "word", 42)
+
+    def test_ordering_by_timestamp(self):
+        assert Message(1.0, "b") < Message(2.0, "a")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Message(0.0, "k").key = "other"  # type: ignore[misc]
+
+    def test_with_key(self):
+        m = Message(3.0, "src", "payload")
+        rekeyed = m.with_key("dst")
+        assert rekeyed.key == "dst"
+        assert rekeyed.timestamp == 3.0
+        assert rekeyed.value == "payload"
+        assert m.key == "src"  # original untouched
+
+
+class TestStreamMessages:
+    def test_timestamps_at_unit_rate(self):
+        msgs = list(stream_messages(["a", "b", "c"]))
+        assert [m.timestamp for m in msgs] == [0.0, 1.0, 2.0]
+
+    def test_rate_scales_time(self):
+        msgs = list(stream_messages(["a", "b"], rate=2.0))
+        assert msgs[1].timestamp == pytest.approx(0.5)
+
+    def test_values_zip(self):
+        msgs = list(stream_messages(["a", "b"], values=[1, 2]))
+        assert [m.value for m in msgs] == [1, 2]
+
+    def test_start_offset(self):
+        msgs = list(stream_messages(["a"], start=10.0))
+        assert msgs[0].timestamp == 10.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            list(stream_messages(["a"], rate=0.0))
+
+    def test_ascending_timestamps(self):
+        msgs = list(stream_messages(range(100), rate=3.7))
+        times = [m.timestamp for m in msgs]
+        assert times == sorted(times)
+
+    def test_keys_of(self):
+        msgs = list(stream_messages([5, 6, 7]))
+        assert np.array_equal(keys_of(msgs), np.array([5, 6, 7]))

@@ -1,0 +1,119 @@
+"""Tests for the distributed naive Bayes application (Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import DistributedNaiveBayes
+from repro.partitioning import KeyGrouping, PartialKeyGrouping, ShuffleGrouping
+
+
+def categorical_data(n, num_features=6, seed=0, bias=0.8):
+    rng = np.random.default_rng(seed)
+    rows, labels = [], []
+    for _ in range(n):
+        y = int(rng.integers(0, 2))
+        p = bias if y else 1.0 - bias
+        rows.append([(f, int(rng.random() < p)) for f in range(num_features)])
+        labels.append(y)
+    return rows, labels
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return categorical_data(1500, seed=1), categorical_data(300, seed=2)
+
+
+def build(partitioner, dataset):
+    (rows, labels), _ = dataset
+    nb = DistributedNaiveBayes(partitioner)
+    nb.train_batch(rows, labels)
+    return nb
+
+
+class TestCorrectness:
+    def test_predictions_identical_across_schemes(self, dataset):
+        _, (test_rows, _) = dataset
+        preds = []
+        for p in (KeyGrouping(5), ShuffleGrouping(5), PartialKeyGrouping(5)):
+            nb = build(p, dataset)
+            preds.append([nb.predict(r) for r in test_rows])
+        assert preds[0] == preds[1] == preds[2]
+
+    def test_learns_the_bias(self, dataset):
+        _, (test_rows, test_labels) = dataset
+        nb = build(PartialKeyGrouping(5), dataset)
+        accuracy = np.mean(
+            [nb.predict(r) == t for r, t in zip(test_rows, test_labels)]
+        )
+        assert accuracy > 0.85
+
+    def test_log_posterior_has_all_classes(self, dataset):
+        nb = build(PartialKeyGrouping(5), dataset)
+        scores = nb.log_posterior([(0, 1)])
+        assert set(scores) == {0, 1}
+
+    def test_untrained_predict_raises(self):
+        nb = DistributedNaiveBayes(KeyGrouping(3))
+        with pytest.raises(RuntimeError):
+            nb.predict([(0, 1)])
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            DistributedNaiveBayes(KeyGrouping(3), alpha=0.0)
+
+    def test_classes_property(self, dataset):
+        nb = build(KeyGrouping(3), dataset)
+        assert nb.classes == [0, 1]
+
+
+class TestCosts:
+    def test_query_probes_kg_one(self, dataset):
+        nb = build(KeyGrouping(5), dataset)
+        assert nb.probes_per_feature() == 1
+
+    def test_query_probes_pkg_two(self, dataset):
+        nb = build(PartialKeyGrouping(5), dataset)
+        assert nb.probes_per_feature() == 2
+
+    def test_query_probes_sg_broadcast(self, dataset):
+        nb = build(ShuffleGrouping(5), dataset)
+        assert nb.probes_per_feature() == 5
+
+    def test_counter_memory_ordering(self, dataset):
+        kg = build(KeyGrouping(5), dataset).counter_memory()
+        pkg = build(PartialKeyGrouping(5), dataset).counter_memory()
+        sg = build(ShuffleGrouping(5), dataset).counter_memory()
+        assert kg <= pkg <= sg
+        assert pkg <= 2 * kg
+
+    def test_query_probe_accounting(self, dataset):
+        _, (test_rows, _) = dataset
+        nb = build(PartialKeyGrouping(5), dataset)
+        before = nb.query_probes
+        nb.predict(test_rows[0])
+        assert nb.query_probes > before
+
+    def test_pkg_load_beats_kg_on_skewed_features(self):
+        # Feature popularity follows a Zipf law (sparse text): feature 0
+        # appears in every example, feature k with prob ~ 1/k.
+        rng = np.random.default_rng(3)
+        rows, labels = [], []
+        for _ in range(2000):
+            y = int(rng.integers(0, 2))
+            feats = [
+                (f, int(rng.random() < 0.5))
+                for f in range(20)
+                if rng.random() < 1.0 / (f + 1)
+            ]
+            rows.append(feats or [(0, 1)])
+            labels.append(y)
+        kg = DistributedNaiveBayes(KeyGrouping(5))
+        pkg = DistributedNaiveBayes(PartialKeyGrouping(5))
+        kg.train_batch(rows, labels)
+        pkg.train_batch(rows, labels)
+
+        def imbalance(nb):
+            loads = nb.worker_loads()
+            return max(loads) - sum(loads) / len(loads)
+
+        assert imbalance(pkg) < imbalance(kg)

@@ -1,0 +1,52 @@
+"""LPT scheduling guarantee tests for Off-Greedy.
+
+Graham's bound: LPT's makespan is at most (4/3 - 1/(3W)) times optimal.
+Off-Greedy is exactly LPT over key frequencies, so its *planned* final
+loads must respect the bound against the trivial lower bounds
+``max(total/W, heaviest key)``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning import OfflineGreedy
+
+
+def planned_makespan(frequencies, num_workers):
+    og = OfflineGreedy(num_workers).fit(frequencies)
+    loads = np.zeros(num_workers)
+    for key, freq in frequencies.items():
+        loads[og.routing_table[key]] += freq
+    return loads.max(), loads
+
+
+class TestLPTBound:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_graham_bound(self, freqs, num_workers):
+        frequencies = {i: f for i, f in enumerate(freqs)}
+        makespan, _ = planned_makespan(frequencies, num_workers)
+        optimal_lb = max(sum(freqs) / num_workers, max(freqs))
+        assert makespan <= (4 / 3) * optimal_lb + 1e-9
+
+    def test_perfectly_divisible(self):
+        frequencies = {i: 10 for i in range(8)}
+        makespan, loads = planned_makespan(frequencies, 4)
+        assert makespan == 20
+        assert loads.min() == 20
+
+    def test_single_heavy_key_dominates(self):
+        frequencies = {0: 1000, 1: 1, 2: 1}
+        makespan, _ = planned_makespan(frequencies, 3)
+        assert makespan == 1000  # can't split a key under key grouping
+
+    def test_deterministic_plan(self):
+        frequencies = {i: (i * 37) % 100 + 1 for i in range(50)}
+        a = OfflineGreedy(5).fit(frequencies).routing_table
+        b = OfflineGreedy(5).fit(frequencies).routing_table
+        assert a == b

@@ -1,0 +1,108 @@
+"""Tests for key grouping, shuffle grouping and the Partitioner base."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import HashFamily
+from repro.partitioning import KeyGrouping, ShuffleGrouping
+from repro.partitioning.base import Partitioner
+
+
+class TestBase:
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            KeyGrouping(0)
+
+    def test_abstract(self):
+        with pytest.raises(TypeError):
+            Partitioner(3)  # type: ignore[abstract]
+
+    def test_default_memory_entries(self):
+        assert KeyGrouping(3).memory_entries() == 0
+
+
+class TestKeyGrouping:
+    def test_deterministic_per_key(self):
+        kg = KeyGrouping(7)
+        assert all(kg.route(42) == kg.route(42) for _ in range(10))
+
+    def test_in_range(self):
+        kg = KeyGrouping(7)
+        assert all(0 <= kg.route(k) < 7 for k in range(1000))
+
+    def test_candidates_single(self):
+        kg = KeyGrouping(5)
+        assert kg.candidates("x") == (kg.route("x"),)
+
+    def test_same_seed_agrees_across_instances(self):
+        a, b = KeyGrouping(9, seed=3), KeyGrouping(9, seed=3)
+        assert all(a.route(k) == b.route(k) for k in range(200))
+
+    def test_route_stream_matches_scalar(self):
+        kg = KeyGrouping(6, seed=1)
+        keys = np.arange(500, dtype=np.int64)
+        vec = kg.route_stream(keys)
+        assert all(int(vec[i]) == kg.route(i) for i in range(0, 500, 41))
+
+    def test_route_stream_string_keys(self):
+        kg = KeyGrouping(6)
+        words = np.array(["a", "b", "a", "c"])
+        routed = kg.route_stream(words)
+        assert routed[0] == routed[2]
+
+    def test_spreads_keys_roughly_uniformly(self):
+        kg = KeyGrouping(10, seed=2)
+        loads = np.bincount(kg.route_stream(np.arange(100_000)), minlength=10)
+        assert loads.max() < 1.1 * loads.mean()
+
+    def test_skewed_stream_imbalanced(self):
+        # The motivating failure: one hot key -> one hot worker.
+        kg = KeyGrouping(4)
+        keys = np.zeros(1000, dtype=np.int64)
+        loads = np.bincount(kg.route_stream(keys), minlength=4)
+        assert loads.max() == 1000
+
+    def test_hash_family_injection(self):
+        family = HashFamily(size=1, seed=77)
+        kg = KeyGrouping(5, hash_function=family[0])
+        assert kg.route(3) == family[0](3) % 5
+
+
+class TestShuffleGrouping:
+    def test_round_robin_cycle(self):
+        sg = ShuffleGrouping(3)
+        assert [sg.route("any") for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_offset(self):
+        sg = ShuffleGrouping(4, offset=2)
+        assert sg.route("x") == 2
+        assert sg.route("x") == 3
+        assert sg.route("x") == 0
+
+    def test_ignores_key(self):
+        sg = ShuffleGrouping(2)
+        assert sg.route("a") == 0
+        assert sg.route("a") == 1
+
+    def test_route_stream_continues_cycle(self):
+        sg = ShuffleGrouping(3)
+        sg.route("x")  # advance to 1
+        routed = sg.route_stream(np.arange(5))
+        assert routed.tolist() == [1, 2, 0, 1, 2]
+        assert sg.route("x") == 0
+
+    def test_perfect_balance(self):
+        sg = ShuffleGrouping(8)
+        loads = np.bincount(sg.route_stream(np.zeros(8000, dtype=np.int64)))
+        assert loads.max() - loads.min() == 0
+
+    def test_imbalance_at_most_one(self):
+        sg = ShuffleGrouping(7)
+        loads = np.bincount(sg.route_stream(np.zeros(1000, dtype=np.int64)), minlength=7)
+        assert loads.max() - loads.min() <= 1
+
+    def test_reset(self):
+        sg = ShuffleGrouping(5)
+        sg.route("k")
+        sg.reset()
+        assert sg.route("k") == 0

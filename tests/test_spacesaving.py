@@ -1,0 +1,166 @@
+"""Tests for the SPACESAVING sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import SpaceSaving
+from repro.streams.distributions import ZipfKeyDistribution
+
+
+def exact_counts(items):
+    out = {}
+    for x in items:
+        out[x] = out.get(x, 0) + 1
+    return out
+
+
+class TestBasics:
+    def test_under_capacity_exact(self):
+        ss = SpaceSaving(10)
+        ss.extend(["a", "b", "a", "c", "a"])
+        assert ss.estimate("a") == 3
+        assert ss.error("a") == 0
+        assert ss.guaranteed_count("a") == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_eviction_inherits_min(self):
+        ss = SpaceSaving(2)
+        ss.offer("a")
+        ss.offer("b")
+        ss.offer("c")  # evicts the min (count 1): c gets count 2, err 1
+        assert ss.estimate("c") == 2
+        assert ss.error("c") == 1
+        assert len(ss) == 2
+
+    def test_total_tracks_stream(self):
+        ss = SpaceSaving(4)
+        ss.extend(range(100))
+        assert ss.total == 100
+
+    def test_count_argument(self):
+        ss = SpaceSaving(4)
+        ss.offer("x", count=7)
+        assert ss.estimate("x") == 7
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(4).offer("x", count=0)
+
+    def test_contains(self):
+        ss = SpaceSaving(4)
+        ss.offer("q")
+        assert "q" in ss and "z" not in ss
+
+    def test_min_count_under_capacity_zero(self):
+        ss = SpaceSaving(5)
+        ss.offer("a")
+        assert ss.min_count() == 0
+
+
+class TestGuarantees:
+    def make_stream(self, m=20_000, seed=0):
+        return ZipfKeyDistribution(1.2, 1000).sample(
+            m, np.random.default_rng(seed)
+        ).tolist()
+
+    def test_overestimate_bounded_by_total_over_capacity(self):
+        items = self.make_stream()
+        capacity = 100
+        ss = SpaceSaving(capacity)
+        ss.extend(items)
+        truth = exact_counts(items)
+        for item in list(ss._counts)[:50]:
+            est = ss.estimate(item)
+            true = truth.get(item, 0)
+            assert true <= est <= true + len(items) / capacity + 1
+
+    def test_error_field_upper_bounds_overestimate(self):
+        items = self.make_stream()
+        ss = SpaceSaving(64)
+        ss.extend(items)
+        truth = exact_counts(items)
+        for item in list(ss._counts):
+            assert ss.estimate(item) - truth.get(item, 0) <= ss.error(item)
+
+    def test_heavy_items_always_tracked(self):
+        items = self.make_stream()
+        capacity = 100
+        ss = SpaceSaving(capacity)
+        ss.extend(items)
+        threshold = len(items) / capacity
+        truth = exact_counts(items)
+        for item, count in truth.items():
+            if count > threshold:
+                assert item in ss
+
+    def test_top_k_matches_exact_on_skew(self):
+        items = self.make_stream()
+        ss = SpaceSaving(200)
+        ss.extend(items)
+        truth = sorted(exact_counts(items).items(), key=lambda kv: -kv[1])
+        found = [k for k, _ in ss.top_k(5)]
+        assert found == [k for k, _ in truth[:5]]
+
+    def test_heavy_hitters_guaranteed(self):
+        items = self.make_stream()
+        ss = SpaceSaving(200)
+        ss.extend(items)
+        truth = exact_counts(items)
+        for item, est in ss.heavy_hitters(0.02):
+            assert truth[item] > 0.02 * len(items) * 0.5  # no wild false positives
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(4).top_k(-1)
+
+    def test_heavy_hitters_phi_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(4).heavy_hitters(0.0)
+
+
+class TestMerge:
+    def test_merge_totals_add(self):
+        a, b = SpaceSaving(8), SpaceSaving(8)
+        a.extend("aab")
+        b.extend("abb")
+        merged = a.merge(b)
+        assert merged.total == 6
+
+    def test_merge_estimates_add(self):
+        a, b = SpaceSaving(8), SpaceSaving(8)
+        a.extend("aab")
+        b.extend("abb")
+        merged = a.merge(b)
+        assert merged.estimate("a") == 3
+        assert merged.estimate("b") == 3
+
+    def test_merge_error_bound_holds(self):
+        rng = np.random.default_rng(1)
+        stream = ZipfKeyDistribution(1.3, 300).sample(10_000, rng).tolist()
+        half = len(stream) // 2
+        a, b = SpaceSaving(64), SpaceSaving(64)
+        a.extend(stream[:half])
+        b.extend(stream[half:])
+        merged = a.merge(b)
+        truth = exact_counts(stream)
+        for item in list(merged._counts)[:50]:
+            true = truth.get(item, 0)
+            assert merged.estimate(item) >= true  # never underestimates tracked
+            assert merged.estimate(item) - true <= merged.error(item)
+
+    def test_merge_respects_capacity(self):
+        a, b = SpaceSaving(4), SpaceSaving(4)
+        a.extend(range(10))
+        b.extend(range(10, 20))
+        assert len(a.merge(b)) <= 4
+
+    def test_merge_preserves_heavy_item(self):
+        a, b = SpaceSaving(16), SpaceSaving(16)
+        a.extend(["hot"] * 100 + list(range(20)))
+        b.extend(["hot"] * 50 + list(range(20, 40)))
+        merged = a.merge(b)
+        assert merged.top_k(1)[0][0] == "hot"
+        assert merged.estimate("hot") >= 150

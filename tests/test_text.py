@@ -1,0 +1,99 @@
+"""Tests for the synthetic text-stream substrate."""
+
+import numpy as np
+import pytest
+
+from repro.streams.text import SyntheticTextStream, synthetic_vocabulary, tokenize
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = synthetic_vocabulary(500, seed=1)
+        assert len(vocab) == 500
+        assert len(set(vocab)) == 500
+
+    def test_deterministic(self):
+        assert synthetic_vocabulary(100, seed=2) == synthetic_vocabulary(100, seed=2)
+
+    def test_words_are_lowercase_ascii(self):
+        for word in synthetic_vocabulary(50, seed=0):
+            assert word.isalpha() and word.islower()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_vocabulary(0)
+
+
+class TestTextStream:
+    def test_document_count(self):
+        stream = SyntheticTextStream(vocabulary_size=200, seed=3)
+        docs = list(stream.documents(50))
+        assert len(docs) == 50
+        assert all(docs)
+
+    def test_documents_tokenize_into_vocab(self):
+        stream = SyntheticTextStream(vocabulary_size=200, seed=3)
+        vocab = set(stream.vocabulary)
+        for doc in stream.documents(20):
+            assert all(w in vocab for w in tokenize(doc))
+
+    def test_word_stream_length(self):
+        stream = SyntheticTextStream(vocabulary_size=100, seed=4)
+        assert len(list(stream.words(1234))) == 1234
+
+    def test_word_frequencies_follow_distribution(self):
+        stream = SyntheticTextStream(vocabulary_size=1000, seed=5)
+        words = list(stream.words(50_000))
+        counts = {}
+        for w in words:
+            counts[w] = counts.get(w, 0) + 1
+        top_share = max(counts.values()) / len(words)
+        assert top_share == pytest.approx(stream.distribution.p1, rel=0.15)
+
+    def test_mean_document_length(self):
+        stream = SyntheticTextStream(
+            vocabulary_size=100, words_per_document=8.0, seed=6
+        )
+        lengths = [len(tokenize(d)) for d in stream.documents(500)]
+        assert np.mean(lengths) == pytest.approx(8.0, rel=0.15)
+
+    def test_deterministic(self):
+        a = list(SyntheticTextStream(vocabulary_size=50, seed=7).words(100))
+        b = list(SyntheticTextStream(vocabulary_size=50, seed=7).words(100))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTextStream(vocabulary_size=10, words_per_document=0)
+        with pytest.raises(ValueError):
+            SyntheticTextStream(vocabulary_size=10).documents(-1).__next__()
+
+    def test_distribution_size_mismatch(self):
+        from repro.streams.distributions import ZipfKeyDistribution
+
+        with pytest.raises(ValueError):
+            SyntheticTextStream(
+                vocabulary_size=10, distribution=ZipfKeyDistribution(1.0, 20)
+            )
+
+
+class TestTokenize:
+    def test_splits_and_lowercases(self):
+        assert tokenize("The Quick  fox") == ["the", "quick", "fox"]
+
+    def test_empty(self):
+        assert tokenize("   ") == []
+
+
+class TestEndToEndWithWordCount:
+    def test_pkg_wordcount_over_text(self):
+        from repro.applications import DistributedWordCount, exact_top_k
+        from repro.partitioning import PartialKeyGrouping
+
+        stream = SyntheticTextStream(vocabulary_size=500, seed=8)
+        words = []
+        for doc in stream.documents(2000):
+            words.extend(tokenize(doc))
+        wc = DistributedWordCount(PartialKeyGrouping(6), aggregation_period=5000)
+        wc.process_stream(words)
+        assert wc.top_k(10) == exact_top_k(words, 10)

@@ -1,0 +1,117 @@
+"""Tests for the distributed streaming word count application."""
+
+import numpy as np
+import pytest
+
+from repro.applications import DistributedWordCount, exact_top_k
+from repro.partitioning import KeyGrouping, PartialKeyGrouping, ShuffleGrouping
+from repro.streams.distributions import ZipfKeyDistribution
+
+
+def word_stream(m=10_000, seed=0):
+    return ZipfKeyDistribution(1.1, 800).sample(
+        m, np.random.default_rng(seed)
+    ).tolist()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: KeyGrouping(6),
+            lambda: ShuffleGrouping(6),
+            lambda: PartialKeyGrouping(6),
+        ],
+        ids=["KG", "SG", "PKG"],
+    )
+    def test_top_k_exact_under_every_scheme(self, make):
+        words = word_stream()
+        wc = DistributedWordCount(make(), aggregation_period=1500)
+        wc.process_stream(words)
+        assert wc.top_k(10) == exact_top_k(words, 10)
+
+    def test_totals_sum_to_messages(self):
+        words = word_stream(5000)
+        wc = DistributedWordCount(PartialKeyGrouping(4))
+        wc.process_stream(words)
+        wc.flush()
+        assert sum(wc.aggregator.values()) == 5000
+
+    def test_exact_top_k_reference(self):
+        assert exact_top_k(["b", "a", "b"], 2) == [("b", 2), ("a", 1)]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            DistributedWordCount(KeyGrouping(2), aggregation_period=-1)
+
+
+class TestCosts:
+    def test_kg_one_counter_per_word(self):
+        words = word_stream()
+        wc = DistributedWordCount(KeyGrouping(6))
+        wc.process_stream(words)
+        distinct = len(set(words))
+        assert wc.stats.peak_worker_counters == distinct
+
+    def test_pkg_at_most_two_counters_per_word(self):
+        words = word_stream()
+        wc = DistributedWordCount(PartialKeyGrouping(6))
+        wc.process_stream(words)
+        distinct = len(set(words))
+        assert distinct <= wc.stats.peak_worker_counters <= 2 * distinct
+        assert all(wc.replication_of(w) <= 2 for w in set(words))
+
+    def test_sg_up_to_w_counters_per_word(self):
+        words = word_stream()
+        num_workers = 6
+        wc = DistributedWordCount(ShuffleGrouping(num_workers))
+        wc.process_stream(words)
+        distinct = len(set(words))
+        assert wc.stats.peak_worker_counters <= num_workers * distinct
+        # SG memory strictly exceeds PKG's on a skewed stream.
+        pkg = DistributedWordCount(PartialKeyGrouping(num_workers))
+        pkg.process_stream(words)
+        assert wc.stats.peak_worker_counters > pkg.stats.peak_worker_counters
+
+    def test_memory_ordering_kg_pkg_sg(self):
+        words = word_stream(20_000)
+        peaks = {}
+        for name, p in (
+            ("KG", KeyGrouping(8)),
+            ("PKG", PartialKeyGrouping(8)),
+            ("SG", ShuffleGrouping(8)),
+        ):
+            wc = DistributedWordCount(p)
+            wc.process_stream(words)
+            peaks[name] = wc.stats.peak_worker_counters
+        assert peaks["KG"] <= peaks["PKG"] <= peaks["SG"]
+
+    def test_shorter_period_less_memory_more_messages(self):
+        words = word_stream(20_000)
+        short = DistributedWordCount(PartialKeyGrouping(6), aggregation_period=500)
+        long = DistributedWordCount(PartialKeyGrouping(6), aggregation_period=5000)
+        short.process_stream(words)
+        long.process_stream(words)
+        assert short.stats.average_worker_counters < long.stats.average_worker_counters
+        assert short.stats.aggregation_messages > long.stats.aggregation_messages
+
+    def test_load_imbalance_pkg_below_kg(self):
+        words = word_stream(30_000)
+        kg = DistributedWordCount(KeyGrouping(8))
+        pkg = DistributedWordCount(PartialKeyGrouping(8))
+        kg.process_stream(words)
+        pkg.process_stream(words)
+        assert pkg.load_imbalance() < kg.load_imbalance()
+
+    def test_flush_clears_workers(self):
+        wc = DistributedWordCount(KeyGrouping(3))
+        wc.process_stream(word_stream(1000))
+        wc.flush()
+        assert all(len(c) == 0 for c in wc.worker_counts)
+
+    def test_flush_counts_messages(self):
+        wc = DistributedWordCount(KeyGrouping(3))
+        wc.process_stream(["a", "b", "a"])
+        sent = wc.flush()
+        assert sent == 2  # two distinct words
+        assert wc.stats.aggregation_messages == 2
