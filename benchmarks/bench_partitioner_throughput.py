@@ -8,13 +8,7 @@ or million-message simulations become impractical.
 import numpy as np
 import pytest
 
-from repro.partitioning import (
-    KeyGrouping,
-    OnlineGreedy,
-    PartialKeyGrouping,
-    ShuffleGrouping,
-    StaticPoTC,
-)
+from repro.api import make_partitioner
 from repro.streams.distributions import ZipfKeyDistribution
 
 KEYS = ZipfKeyDistribution(1.1, 10_000).sample(
@@ -23,17 +17,12 @@ KEYS = ZipfKeyDistribution(1.1, 10_000).sample(
 
 
 @pytest.mark.parametrize(
-    "make",
-    [
-        lambda: KeyGrouping(16),
-        lambda: ShuffleGrouping(16),
-        lambda: PartialKeyGrouping(16),
-        lambda: PartialKeyGrouping(16, num_choices=4),
-    ],
+    "spec",
+    ["kg", "sg", "pkg", "pkg:d=4"],
     ids=["KG", "SG", "PKG-d2", "PKG-d4"],
 )
-def test_route_stream_throughput(benchmark, make):
-    partitioner = make()
+def test_route_stream_throughput(benchmark, spec):
+    partitioner = make_partitioner(spec, 16)
 
     def run():
         partitioner.reset()
@@ -44,15 +33,15 @@ def test_route_stream_throughput(benchmark, make):
 
 
 @pytest.mark.parametrize(
-    "make",
-    [lambda: StaticPoTC(16), lambda: OnlineGreedy(16)],
+    "spec",
+    ["potc", "on-greedy"],
     ids=["PoTC", "On-Greedy"],
 )
-def test_table_based_scheme_throughput(benchmark, make):
+def test_table_based_scheme_throughput(benchmark, spec):
     keys = KEYS[:20_000]
 
     def run():
-        partitioner = make()
+        partitioner = make_partitioner(spec, 16)
         return partitioner.route_stream(keys)
 
     routed = benchmark.pedantic(run, rounds=3, iterations=1)

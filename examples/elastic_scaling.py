@@ -11,19 +11,15 @@ Run:  python examples/elastic_scaling.py
 
 import numpy as np
 
-from repro.partitioning import (
-    ConsistentPartialKeyGrouping,
-    KeyGrouping,
-    PartialKeyGrouping,
-)
+from repro.api import make_partitioner
 from repro.simulation import simulate_stream
 from repro.streams import ZipfKeyDistribution
 
 
 def remap_fraction_mod_hash(num_workers_before: int, num_workers_after: int, keys):
     """Fraction of keys whose worker changes under plain mod-W hashing."""
-    before = KeyGrouping(num_workers_before, seed=1)
-    after = KeyGrouping(num_workers_after, seed=1)
+    before = make_partitioner("kg", num_workers_before, seed=1)
+    after = make_partitioner("kg", num_workers_after, seed=1)
     moved = sum(1 for k in keys if before.route(k) != after.route(k))
     return moved / len(keys)
 
@@ -34,17 +30,17 @@ def main() -> None:
     sample_keys = [int(k) for k in np.unique(keys)[:3000]]
 
     # Balance: ring-selected candidates work as well as hash candidates.
-    for name, partitioner in (
-        ("hash PKG", PartialKeyGrouping(10, seed=1)),
-        ("ring PKG", ConsistentPartialKeyGrouping(10, seed=1)),
-        ("hash KG", KeyGrouping(10, seed=1)),
+    for name, spec in (
+        ("hash PKG", "pkg"),
+        ("ring PKG", "ch-pkg"),
+        ("hash KG", "kg"),
     ):
-        result = simulate_stream(keys, partitioner)
+        result = simulate_stream(keys, spec, num_workers=10, seed=1)
         print(f"{name:9s} avg imbalance = {result.average_imbalance:10.1f}")
 
     # Elasticity: shrink the pool from 10 to 9 workers.
-    stable = ConsistentPartialKeyGrouping(10, seed=5)
-    shrunk = ConsistentPartialKeyGrouping(10, seed=5)
+    stable = make_partitioner("ch-pkg", 10, seed=5)
+    shrunk = make_partitioner("ch-pkg", 10, seed=5)
     before = {k: stable.candidates(k) for k in sample_keys}
     shrunk.remove_worker(9)
     ring_moved = sum(1 for k in sample_keys if shrunk.candidates(k) != before[k])

@@ -8,7 +8,7 @@ error bound stays independent of the worker count.
 Run:  python examples/heavy_hitters_monitor.py
 """
 
-from repro import PartialKeyGrouping, ShuffleGrouping
+from repro.api import make_partitioner
 from repro.applications import DistributedHeavyHitters, exact_top_k
 from repro.streams import get_dataset
 
@@ -17,8 +17,8 @@ def main() -> None:
     spec = get_dataset("CT")
     keys = spec.stream(200_000, seed=11).tolist()
 
-    pkg = DistributedHeavyHitters(PartialKeyGrouping(8), capacity=128)
-    sg = DistributedHeavyHitters(ShuffleGrouping(8), capacity=128)
+    pkg = DistributedHeavyHitters(make_partitioner("pkg", 8), capacity=128)
+    sg = DistributedHeavyHitters(make_partitioner("sg", 8), capacity=128)
     pkg.process_stream(keys)
     sg.process_stream(keys)
 

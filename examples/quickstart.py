@@ -1,56 +1,75 @@
-"""Quickstart: route a skewed stream with PKG and compare against KG/SG.
+"""Quickstart: the unified ``repro.api`` facade in one tour.
 
-Run:  python examples/quickstart.py
+One import surface covers everything: the partitioner registry
+(``make_partitioner``, spec strings like ``"pkg:d=3"``), the frequency
+simulation and the DSPE cluster simulation (both behind ``run()``), and
+the fluent ``Topology`` builder.
+
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import (
-    KeyGrouping,
-    PartialKeyGrouping,
-    ShuffleGrouping,
-    ZipfKeyDistribution,
-)
-from repro.simulation import count_partial_states, simulate_stream
+from repro.api import Topology, available_schemes, make_partitioner, run
 
 
 def main() -> None:
-    # A Zipf-skewed stream: a handful of hot keys dominate, the classic
-    # regime where hash-based key grouping falls over.  p1 ~ 9% keeps us
-    # inside PKG's feasibility region (W <= 2/p1, Section IV).
-    num_workers = 10
-    distribution = ZipfKeyDistribution(exponent=1.084, num_keys=20_000)
-    keys = distribution.sample(300_000, np.random.default_rng(7))
-    print(
-        f"stream: {keys.size} messages, {distribution.num_keys} keys, "
-        f"p1 = {distribution.p1:.1%} (hottest key's share)"
-    )
+    print("registered schemes:", ", ".join(available_schemes()))
 
-    schemes = [
-        ("key grouping (hash)", KeyGrouping(num_workers)),
-        ("shuffle grouping", ShuffleGrouping(num_workers)),
-        ("PARTIAL KEY GROUPING", PartialKeyGrouping(num_workers)),
-    ]
-    print(f"\n{'scheme':24s} {'avg imbalance':>14s} {'fraction':>10s} {'partials':>9s}")
-    for name, partitioner in schemes:
-        result = simulate_stream(keys, partitioner, keep_assignments=True)
-        partials = count_partial_states(keys, result.assignments)
+    # -- 1. Frequency-only comparison (the paper's Q1 simulations) ----
+    # Replay a synthetic Wikipedia-like stream (Table I's WP: p1 ~ 9%)
+    # through each scheme and compare load imbalance.
+    print(f"\n{'scheme':24s} {'avg imbalance':>14s} {'fraction':>10s} {'memory':>8s}")
+    for spec, label in [
+        ("kg", "key grouping (hash)"),
+        ("sg", "shuffle grouping"),
+        ("potc", "static PoTC"),
+        ("pkg", "PARTIAL KEY GROUPING"),
+    ]:
+        result = run(
+            spec, dataset="WP", num_workers=10, num_messages=300_000, seed=7
+        )
         print(
-            f"{name:24s} {result.average_imbalance:14.1f} "
-            f"{result.average_imbalance_fraction:10.2e} {partials:9d}"
+            f"{label:24s} {result.average_imbalance:14.1f} "
+            f"{result.average_imbalance_fraction:10.2e} "
+            f"{result.average_memory:8.0f}"
         )
 
-    # Key splitting in action: a key is only ever handled by its two
-    # hash candidates, so stateful operators keep at most two partials.
-    pkg = PartialKeyGrouping(num_workers)
-    hot_key = next(
-        k for k in range(10) if len(set(pkg.candidates(k))) == 2
-    )
+    # -- 2. Spec strings: the d-choices ablation in one line each -----
+    print(f"\n{'spec':10s} {'avg imbalance fraction':>22s}")
+    for spec in ("pkg:d=1", "pkg:d=2", "pkg:d=4"):
+        result = run(
+            spec, dataset="WP", num_workers=10, num_messages=300_000, seed=7
+        )
+        print(f"{spec:10s} {result.average_imbalance_fraction:22.2e}")
+
+    # -- 3. Key splitting in action -----------------------------------
+    # A key is only ever handled by its two hash candidates, so stateful
+    # operators keep at most two partial states per key.
+    pkg = make_partitioner("pkg", 10)
+    hot_key = next(k for k in range(10) if len(set(pkg.candidates(k))) == 2)
     used = {pkg.route(hot_key) for _ in range(1000)}
     print(
         f"\nhot key {hot_key}: candidates {pkg.candidates(hot_key)}, "
         f"workers actually used by 1000 messages: {sorted(used)}"
     )
+
+    # -- 4. Full DSPE simulation via the fluent builder (Q4) ----------
+    # A 1-spout, 9-counter word-count cluster; PKG's better balance
+    # turns into throughput and latency wins over hashing.
+    for spec in ("kg", "pkg"):
+        topo = (
+            Topology()
+            .source("WP")
+            .partition_by(spec)
+            .workers(9, cpu_delay=1.0e-3)
+            .timing(duration=6.0, warmup=2.0)
+            .seed(1)
+        )
+        result = run(topo)
+        print(
+            f"cluster [{spec:3s}]: throughput={result.throughput:7.0f} keys/s "
+            f"latency(mean)={result.latency_mean * 1e3:5.2f} ms "
+            f"p99={result.latency_p99 * 1e3:5.2f} ms"
+        )
 
 
 if __name__ == "__main__":

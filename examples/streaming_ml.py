@@ -9,7 +9,7 @@ Run:  python examples/streaming_ml.py
 
 import numpy as np
 
-from repro import KeyGrouping, PartialKeyGrouping, ShuffleGrouping
+from repro.api import make_partitioner
 from repro.applications import DistributedNaiveBayes, StreamingParallelDecisionTree
 
 
@@ -32,11 +32,8 @@ def main() -> None:
     train_rows, train_labels = categorical_data(4000, 8, seed=1)
     test_rows, test_labels = categorical_data(500, 8, seed=2)
     print(f"{'scheme':5s} {'accuracy':>8s} {'probes/feat':>12s} {'counters':>9s} {'imbalance':>10s}")
-    for partitioner in (
-        KeyGrouping(num_workers),
-        ShuffleGrouping(num_workers),
-        PartialKeyGrouping(num_workers),
-    ):
+    for spec in ("kg", "sg", "pkg"):
+        partitioner = make_partitioner(spec, num_workers)
         nb = DistributedNaiveBayes(partitioner)
         nb.train_batch(train_rows, train_labels)
         accuracy = sum(
@@ -54,10 +51,8 @@ def main() -> None:
     X = rng.normal(size=(6000, 5))
     y = ((X[:, 0] > 0.2) ^ (X[:, 2] < -0.4)).astype(int)
     print(f"{'scheme':5s} {'accuracy':>8s} {'histograms':>11s} {'bound':>7s} {'merges':>8s}")
-    for partitioner in (
-        ShuffleGrouping(num_workers),
-        PartialKeyGrouping(num_workers),
-    ):
+    for spec in ("sg", "pkg"):
+        partitioner = make_partitioner(spec, num_workers)
         tree = StreamingParallelDecisionTree(
             partitioner, num_features=5, num_classes=2, max_depth=4
         )

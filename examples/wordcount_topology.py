@@ -2,50 +2,73 @@
 
 Deploys the 1-spout + 9-counter topology under each partitioning scheme
 at two CPU delays, then once more with the aggregation stage enabled --
-a miniature of Figures 5(a) and 5(b).
+a miniature of Figures 5(a) and 5(b) -- and finally a heterogeneous
+cluster with a straggling worker, all through the fluent
+``repro.api.Topology`` builder.
 
-Run:  python examples/wordcount_topology.py
+Run:  PYTHONPATH=src python examples/wordcount_topology.py
 """
 
-from repro.dspe import ClusterConfig, run_wordcount
-from repro.streams import get_dataset
+from repro.api import Topology, run
 
 
 def main() -> None:
-    distribution = get_dataset("WP").distribution()
-
     print("== throughput vs CPU delay (Fig 5a miniature) ==")
     print(f"{'scheme':6s} {'delay':>7s} {'keys/s':>8s} {'mean lat':>9s} {'p99 lat':>9s}")
     for delay in (0.1e-3, 1.0e-3):
         for scheme in ("kg", "sg", "pkg"):
-            cfg = ClusterConfig(cpu_delay=delay, duration=10.0, warmup=2.0)
-            m = run_wordcount(scheme, distribution, cfg)
+            topo = (
+                Topology()
+                .source("WP")
+                .partition_by(scheme)
+                .workers(9, cpu_delay=delay)
+                .timing(duration=10.0, warmup=2.0)
+            )
+            m = run(topo)
             print(
                 f"{m.scheme:6s} {delay * 1e3:6.1f}ms {m.throughput:8.0f} "
-                f"{m.latency.mean * 1e3:8.2f}ms {m.latency.percentile(99) * 1e3:8.2f}ms"
+                f"{m.latency_mean * 1e3:8.2f}ms {m.latency_p99 * 1e3:8.2f}ms"
             )
 
     print("\n== with periodic aggregation (Fig 5b miniature) ==")
     print(f"{'scheme':6s} {'period':>7s} {'keys/s':>8s} {'avg counters':>13s}")
     for scheme in ("pkg", "sg"):
         for period in (2.0, 10.0):
-            cfg = ClusterConfig(
-                cpu_delay=0.4e-3,
-                duration=30.0,
-                warmup=10.0,
-                aggregation_period=period,
+            topo = (
+                Topology()
+                .source("WP")
+                .partition_by(scheme)
+                .workers(9, cpu_delay=0.4e-3)
+                .aggregate(every=period)
+                .timing(duration=30.0, warmup=10.0)
             )
-            m = run_wordcount(scheme, distribution, cfg)
+            m = run(topo)
             print(
                 f"{m.scheme:6s} {period:6.0f}s {m.throughput:8.0f} "
-                f"{m.average_memory_counters:13.0f}"
+                f"{m.average_memory:13.0f}"
             )
-    kg = run_wordcount(
-        "kg",
-        distribution,
-        ClusterConfig(cpu_delay=0.4e-3, duration=30.0, warmup=10.0),
+    kg = run(
+        Topology()
+        .source("WP")
+        .partition_by("kg")
+        .workers(9, cpu_delay=0.4e-3)
+        .timing(duration=30.0, warmup=10.0)
     )
-    print(f"{'KG':6s} {'none':>7s} {kg.throughput:8.0f} {kg.average_memory_counters:13.0f}")
+    print(f"{'KG':6s} {'none':>7s} {kg.throughput:8.0f} {kg.average_memory:13.0f}")
+
+    print("\n== straggler injection: worker 0 slowed 4x ==")
+    print(f"{'scheme':6s} {'keys/s':>8s} {'p99 lat':>9s}")
+    for scheme in ("kg", "pkg"):
+        topo = (
+            Topology()
+            .source("WP")
+            .partition_by(scheme)
+            .workers(9, cpu_delay=0.4e-3)
+            .straggler(0, factor=4.0)
+            .timing(duration=10.0, warmup=2.0)
+        )
+        m = run(topo)
+        print(f"{m.scheme:6s} {m.throughput:8.0f} {m.latency_p99 * 1e3:8.2f}ms")
 
 
 if __name__ == "__main__":

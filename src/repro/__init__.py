@@ -5,15 +5,12 @@ Load Balancing for Distributed Stream Processing Engines"* (Nasir,
 De Francisci Morales, García-Soriano, Kourtellis, Serafini -- ICDE
 2015).
 
-Quickstart::
+Quickstart (the unified :mod:`repro.api` facade)::
 
-    import numpy as np
-    from repro import PartialKeyGrouping, KeyGrouping, ZipfKeyDistribution
-    from repro.simulation import simulate_stream
+    from repro import run
 
-    keys = ZipfKeyDistribution(1.5, 10_000).sample(100_000, np.random.default_rng(7))
-    pkg = simulate_stream(keys, PartialKeyGrouping(num_workers=10))
-    kg = simulate_stream(keys, KeyGrouping(num_workers=10))
+    pkg = run("pkg", dataset="WP", num_workers=10)
+    kg = run("kg", dataset="WP", num_workers=10)
     print(pkg.average_imbalance, "<<", kg.average_imbalance)
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
@@ -52,9 +49,24 @@ from repro.streams import (
     get_dataset,
 )
 
-__version__ = "1.0.0"
+# The unified public API (kept last: repro.api pulls in the dspe and
+# simulation layers, which build on everything above).
+from repro.api import (
+    RunResult,
+    Topology,
+    available_schemes,
+    make_partitioner,
+    run,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "make_partitioner",
+    "available_schemes",
+    "Topology",
+    "run",
+    "RunResult",
     "HashFamily",
     "HashFunction",
     "Partitioner",

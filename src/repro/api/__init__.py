@@ -1,0 +1,81 @@
+"""``repro.api``: the one public surface for assembling and running
+experiments.
+
+Three pieces, mirroring how the paper talks about PKG as a drop-in
+operator:
+
+* the **partitioner registry** (:func:`make_partitioner`,
+  :func:`register`, :func:`available_schemes`) -- every scheme by name
+  or compact spec string (``"pkg"``, ``"pkg:d=3"``, ``"kg"``, ...);
+* the **fluent topology builder** (:class:`Topology`) -- arbitrary
+  spout/worker/aggregator clusters, including stragglers and
+  heterogeneous workers, without touching dataclasses;
+* the **run facade** (:func:`run`) -- one entry point returning a
+  unified :class:`RunResult` for both the DSPE discrete-event
+  simulation and the frequency-only stream replay.
+
+Quickstart::
+
+    from repro.api import Topology, run
+
+    # Frequency-only: imbalance of PKG vs hashing on a skewed stream.
+    pkg = run("pkg", dataset="WP", num_workers=10, num_messages=100_000)
+    kg = run("kg", dataset="WP", num_workers=10, num_messages=100_000)
+    print(pkg.average_imbalance, "<<", kg.average_imbalance)
+
+    # Full DSPE simulation: throughput/latency of a word-count cluster.
+    topo = (Topology().source("WP").spouts(1)
+            .partition_by("pkg:d=2").workers(9, cpu_delay=0.4e-3))
+    print(run(topo).throughput)
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.api.registry import (
+    SchemeInfo,
+    available_schemes,
+    make_partitioner,
+    parse_spec,
+    register,
+    resolve_scheme_name,
+    scheme_info,
+)
+
+#: attribute -> defining module, resolved lazily (PEP 562) so that the
+#: partitioner modules can import ``repro.api.registry`` during their own
+#: definition without dragging the dspe/simulation stack into the cycle.
+_LAZY_EXPORTS = {
+    "Topology": "repro.api.topology",
+    "TopologyError": "repro.api.topology",
+    "run": "repro.api.facade",
+    "RunResult": "repro.api.facade",
+}
+
+__all__ = [
+    "SchemeInfo",
+    "register",
+    "make_partitioner",
+    "parse_spec",
+    "available_schemes",
+    "scheme_info",
+    "resolve_scheme_name",
+    "Topology",
+    "TopologyError",
+    "run",
+    "RunResult",
+]
+
+
+def __getattr__(name: str):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

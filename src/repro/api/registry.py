@@ -1,0 +1,277 @@
+"""The partitioner registry: one name -> factory table for every scheme.
+
+The paper's pitch is that PKG is a *drop-in* partitioning operator; the
+code should make swapping schemes equally drop-in.  Every partitioner
+class registers itself here with :func:`register`, and every consumer
+(DSPE topology, frequency simulations, experiment harnesses, benchmarks)
+obtains instances through :func:`make_partitioner` instead of keeping a
+private name->constructor dict.
+
+Schemes are addressed by canonical name, by alias, or by a compact
+**spec string** of the form ``"name:key=value,key=value"``::
+
+    make_partitioner("pkg", 10)                 # PKG, d = 2
+    make_partitioner("pkg:d=3", 10)             # Greedy-3
+    make_partitioner("kg-rebalance:interval=5000", 10, seed=7)
+    make_partitioner("ch-pkg:d=2,vnodes=128", 10)
+
+Spec parameters map onto constructor keyword arguments (via per-scheme
+short aliases such as ``d`` -> ``num_choices``); explicit keyword
+arguments passed to :func:`make_partitioner` override spec values.
+
+This module deliberately imports nothing from the rest of ``repro`` at
+import time, so that partitioner modules can decorate themselves with
+``@register`` without creating an import cycle; the built-in schemes are
+pulled in lazily on first lookup.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "SchemeInfo",
+    "register",
+    "make_partitioner",
+    "parse_spec",
+    "available_schemes",
+    "scheme_info",
+    "resolve_scheme_name",
+]
+
+#: canonical scheme name -> registration record
+_REGISTRY: Dict[str, "SchemeInfo"] = {}
+#: lowercase alias (including the canonical name itself) -> canonical name
+_ALIASES: Dict[str, str] = {}
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """One registered partitioning scheme."""
+
+    name: str
+    factory: Callable[..., Any]
+    aliases: Tuple[str, ...] = ()
+    #: spec-string shorthand -> constructor keyword argument
+    param_aliases: Mapping[str, str] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def accepts_seed(self) -> bool:
+        return "seed" in self._parameters
+
+    @property
+    def _parameters(self) -> Mapping[str, inspect.Parameter]:
+        try:
+            return inspect.signature(self.factory).parameters
+        except (TypeError, ValueError):  # builtins without signatures
+            return {}
+
+    def valid_kwargs(self) -> Tuple[str, ...]:
+        """Keyword arguments the scheme's constructor understands."""
+        skip = {"self", "num_workers"}
+        return tuple(
+            n
+            for n, p in self._parameters.items()
+            if n not in skip
+            and p.kind
+            in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+        )
+
+
+def register(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+    params: Optional[Mapping[str, str]] = None,
+    description: str = "",
+) -> Callable:
+    """Class decorator registering a :class:`Partitioner` under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Canonical lowercase scheme name (``"pkg"``, ``"kg"``, ...).
+    aliases:
+        Alternative lookup names (``"hash"`` for ``"kg"``, ...).
+    params:
+        Spec-string shorthands, e.g. ``{"d": "num_choices"}`` lets users
+        write ``"pkg:d=3"`` instead of ``"pkg:num_choices=3"``.
+    description:
+        One-line human-readable summary (shown by ``available_schemes``
+        consumers and error messages).
+    """
+
+    def decorate(cls):
+        info = SchemeInfo(
+            name=name.lower(),
+            factory=cls,
+            aliases=tuple(a.lower() for a in aliases),
+            param_aliases=dict(params or {}),
+            description=description or (inspect.getdoc(cls) or "").split("\n")[0],
+        )
+        _REGISTRY[info.name] = info
+        for key in (info.name,) + info.aliases:
+            existing = _ALIASES.get(key)
+            if existing is not None and existing != info.name:
+                raise ValueError(
+                    f"scheme alias {key!r} already registered for {existing!r}"
+                )
+            _ALIASES[key] = info.name
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin_schemes() -> None:
+    """Import the scheme modules so their ``@register`` decorators run."""
+    import repro.partitioning  # noqa: F401  (import side effect)
+
+
+def _coerce(value: str) -> Any:
+    """Best-effort typing of a spec-string value: int, float, bool, str."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    lowered = value.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    return value
+
+
+def parse_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a spec string into ``(scheme_name, params)``.
+
+    ``"pkg:d=3,seed=7"`` -> ``("pkg", {"d": 3, "seed": 7})``.  Raises
+    :class:`ValueError` on malformed input; scheme-name resolution and
+    parameter validation happen later, in :func:`make_partitioner`.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(f"spec must be a string, got {type(spec).__name__}")
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty partitioner spec")
+    name, _, rest = spec.partition(":")
+    name = name.strip().lower()
+    if not name:
+        raise ValueError(f"spec {spec!r} has no scheme name")
+    params: Dict[str, Any] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not key or not value:
+                raise ValueError(
+                    f"malformed spec parameter {item!r} in {spec!r}; "
+                    "expected key=value"
+                )
+            params[key] = _coerce(value)
+    return name, params
+
+
+def resolve_scheme_name(name: str) -> str:
+    """Canonical name for ``name`` (which may be an alias or spec)."""
+    _ensure_builtin_schemes()
+    base = parse_spec(name)[0] if isinstance(name, str) else name
+    canonical = _ALIASES.get(base)
+    if canonical is None:
+        raise ValueError(
+            f"unknown partitioning scheme {base!r}; "
+            f"known: {', '.join(available_schemes())}"
+        )
+    return canonical
+
+
+def available_schemes() -> Tuple[str, ...]:
+    """Canonical names of every registered scheme, sorted."""
+    _ensure_builtin_schemes()
+    return tuple(sorted(_REGISTRY))
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    """Registration record for a scheme name, alias, or spec string."""
+    return _REGISTRY[resolve_scheme_name(name)]
+
+
+def make_partitioner(spec, num_workers: int, seed: int = 0, **kwargs):
+    """Build a partitioner from a spec string, name, class, or instance.
+
+    Parameters
+    ----------
+    spec:
+        A scheme name (``"pkg"``), alias (``"hash"``), compact spec
+        string (``"pkg:d=3"``), a registered :class:`Partitioner`
+        subclass, or an already-built instance (returned as-is after a
+        ``num_workers`` consistency check).
+    num_workers:
+        Downstream parallelism W.
+    seed:
+        Hash/RNG seed, forwarded to constructors that accept one.
+    **kwargs:
+        Extra constructor arguments; they override spec-string values.
+
+    Raises :class:`ValueError` for unknown schemes, malformed specs, and
+    parameters the scheme's constructor does not understand.
+    """
+    # Instance passthrough.
+    from repro.partitioning.base import Partitioner
+
+    if isinstance(spec, Partitioner):
+        if kwargs:
+            raise ValueError(
+                "cannot apply constructor kwargs to an already-built "
+                f"partitioner instance ({sorted(kwargs)})"
+            )
+        if spec.num_workers != num_workers:
+            raise ValueError(
+                f"partitioner instance has num_workers={spec.num_workers}, "
+                f"expected {num_workers}"
+            )
+        return spec
+
+    _ensure_builtin_schemes()
+
+    if isinstance(spec, type) and issubclass(spec, Partitioner):
+        infos = [i for i in _REGISTRY.values() if i.factory is spec]
+        if not infos:
+            raise ValueError(
+                f"{spec.__name__} is not a registered scheme; "
+                "decorate it with @register(...)"
+            )
+        info, spec_params = infos[0], {}
+    else:
+        name, spec_params = parse_spec(spec)
+        canonical = _ALIASES.get(name)
+        if canonical is None:
+            raise ValueError(
+                f"unknown partitioning scheme {name!r}; "
+                f"known: {', '.join(available_schemes())}"
+            )
+        info = _REGISTRY[canonical]
+
+    build_kwargs: Dict[str, Any] = {}
+    valid = info.valid_kwargs()
+    # kwargs last: explicit arguments override spec-string values.
+    for key, value in {**spec_params, **kwargs}.items():
+        target = info.param_aliases.get(key, key)
+        if target not in valid:
+            raise ValueError(
+                f"scheme {info.name!r} does not accept parameter {key!r}; "
+                f"valid: {', '.join(sorted(set(valid) | set(info.param_aliases)))}"
+            )
+        build_kwargs[target] = value
+    if info.accepts_seed:
+        build_kwargs.setdefault("seed", seed)
+    return info.factory(num_workers, **build_kwargs)

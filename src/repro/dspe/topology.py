@@ -7,29 +7,50 @@ entry point used by the Figure 5 harnesses and benchmarks.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import make_partitioner, parse_spec
 from repro.dspe.engine import Simulator
 from repro.dspe.executors import AggregatorExecutor, SpoutExecutor, WorkerExecutor
 from repro.dspe.metrics import LatencyStats, RunMetrics
 from repro.hashing import HashFamily
-from repro.partitioning import (
-    KeyGrouping,
-    PartialKeyGrouping,
-    Partitioner,
-    ShuffleGrouping,
-)
+from repro.partitioning import Partitioner
 from repro.streams.distributions import KeyDistribution
 
-#: scheme name -> factory(num_workers, seed) -> Partitioner
-SCHEMES = {
-    "kg": lambda w, seed: KeyGrouping(w, seed=seed),
-    "sg": lambda w, seed: ShuffleGrouping(w),
-    "pkg": lambda w, seed: PartialKeyGrouping(w, seed=seed),
-}
+
+#: cached deprecated-SCHEMES dict; one stable object so that legacy
+#: mutation (``SCHEMES["mine"] = factory``) and iteration keep working
+_SCHEMES_SHIM: Optional[dict] = None
+
+
+def __getattr__(name: str):
+    # Backward-compatible shim: the old module-level ``SCHEMES`` dict is
+    # superseded by the repro.api partitioner registry.  It keeps the
+    # original three keys (kg/sg/pkg) so legacy sweeps iterate the same
+    # scheme set they always did.
+    if name == "SCHEMES":
+        global _SCHEMES_SHIM
+        warnings.warn(
+            "repro.dspe.topology.SCHEMES is deprecated; use "
+            "repro.api.make_partitioner / repro.api.available_schemes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if _SCHEMES_SHIM is None:
+            _SCHEMES_SHIM = {
+                scheme: (
+                    lambda w, seed=0, _s=scheme: make_partitioner(
+                        _s, w, seed=seed
+                    )
+                )
+                for scheme in ("kg", "sg", "pkg")
+            }
+        return _SCHEMES_SHIM
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -103,24 +124,59 @@ class WordCountCluster:
         distribution: KeyDistribution,
         config: Optional[ClusterConfig] = None,
         partitioner: Optional[Partitioner] = None,
+        partitioner_factory: Optional[Callable[[int], Partitioner]] = None,
+        worker_cpu_delays: Optional[Sequence[float]] = None,
     ):
+        """Assemble the cluster.
+
+        ``scheme`` is any registry name or spec string (``"pkg:d=3"``);
+        alternatively inject a built ``partitioner`` (single spout) or a
+        ``partitioner_factory(spout_index)`` (any spout count).
+        ``worker_cpu_delays`` makes the pool heterogeneous: one CPU
+        delay per worker, overriding ``config.cpu_delay``; the straggler
+        factor still applies on top.
+        """
         self.config = config or ClusterConfig()
-        self.scheme = scheme.lower()
-        if partitioner is None:
-            if self.scheme not in SCHEMES:
+        # Display name: the base scheme, spec parameters stripped.
+        self.scheme = parse_spec(scheme)[0]
+        if partitioner is not None:
+            if partitioner_factory is not None:
                 raise ValueError(
-                    f"unknown scheme {scheme!r}; known: {sorted(SCHEMES)}"
+                    "pass either partitioner or partitioner_factory, not both"
                 )
-            partitioner = SCHEMES[self.scheme](
-                self.config.num_workers, self.config.seed
+            if partitioner.num_workers != self.config.num_workers:
+                raise ValueError(
+                    f"injected partitioner routes to {partitioner.num_workers} "
+                    f"workers but the cluster has {self.config.num_workers}"
+                )
+            if self.config.num_spouts > 1:
+                raise ValueError(
+                    "explicit partitioner injection only supports one spout; "
+                    "multi-spout clusters build one instance per spout"
+                )
+            self._partitioner_factory = lambda s: partitioner
+        elif partitioner_factory is not None:
+            self._partitioner_factory = partitioner_factory
+        else:
+            # Route the scheme spec through the registry; sources share
+            # the hash seed so candidate sets agree across spouts while
+            # load estimates stay private.
+            spec, cfg = scheme, self.config
+            self._partitioner_factory = lambda s: make_partitioner(
+                spec, cfg.num_workers, seed=cfg.seed
             )
-        elif self.config.num_spouts > 1:
-            raise ValueError(
-                "explicit partitioner injection only supports one spout; "
-                "multi-spout clusters build one instance per spout"
-            )
-        self.partitioner = partitioner
+        self.partitioner = self._partitioner_factory(0)
         self.distribution = distribution
+        if worker_cpu_delays is not None:
+            worker_cpu_delays = [float(d) for d in worker_cpu_delays]
+            if len(worker_cpu_delays) != self.config.num_workers:
+                raise ValueError(
+                    f"worker_cpu_delays has {len(worker_cpu_delays)} entries "
+                    f"for {self.config.num_workers} workers"
+                )
+            if any(d <= 0 for d in worker_cpu_delays):
+                raise ValueError("every worker CPU delay must be positive")
+        self.worker_cpu_delays = worker_cpu_delays
 
         self.sim = Simulator()
         self.latency = LatencyStats(seed=self.config.seed)
@@ -141,7 +197,11 @@ class WordCountCluster:
             WorkerExecutor(
                 self.sim,
                 spout=None,  # wired below
-                cpu_delay=cfg.cpu_delay
+                cpu_delay=(
+                    self.worker_cpu_delays[i]
+                    if self.worker_cpu_delays is not None
+                    else cfg.cpu_delay
+                )
                 * (cfg.straggler_factor if i == cfg.straggler_worker else 1.0),
                 network_delay=cfg.network_delay,
                 latency=self.latency,
@@ -160,12 +220,10 @@ class WordCountCluster:
         # load estimates: exactly PKG's deployment story).
         self.spouts = []
         for s in range(cfg.num_spouts):
-            if s == 0 and cfg.num_spouts == 1:
+            if s == 0:
                 spout_partitioner = self.partitioner
             else:
-                spout_partitioner = SCHEMES[self.scheme](
-                    cfg.num_workers, cfg.seed
-                )
+                spout_partitioner = self._partitioner_factory(s)
             self.spouts.append(
                 SpoutExecutor(
                     self.sim,
@@ -241,7 +299,15 @@ def run_wordcount(
     distribution: KeyDistribution,
     config: Optional[ClusterConfig] = None,
     partitioner: Optional[Partitioner] = None,
+    **cluster_kwargs,
 ) -> RunMetrics:
-    """Build and run one word-count cluster; returns its metrics."""
-    cluster = WordCountCluster(scheme, distribution, config, partitioner)
+    """Build and run one word-count cluster; returns its metrics.
+
+    ``scheme`` may be any registry spec string (``"pkg:d=3"``).  Extra
+    keyword arguments (``partitioner_factory``, ``worker_cpu_delays``)
+    are forwarded to :class:`WordCountCluster`.
+    """
+    cluster = WordCountCluster(
+        scheme, distribution, config, partitioner, **cluster_kwargs
+    )
     return cluster.run()

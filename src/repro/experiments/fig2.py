@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig, format_table
-from repro.partitioning import KeyGrouping
 from repro.simulation import simulate_multisource_pkg, simulate_stream
 from repro.streams.datasets import get_dataset
 
@@ -43,7 +42,9 @@ def run_fig2(
         for w in config.workers:
             hashing = simulate_stream(
                 keys,
-                KeyGrouping(w, seed=config.seed),
+                "kg",
+                num_workers=w,
+                seed=config.seed,
                 num_checkpoints=config.num_checkpoints,
             )
             rows.append(

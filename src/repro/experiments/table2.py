@@ -12,12 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.registry import make_partitioner
 from repro.experiments.config import ExperimentConfig, format_table, sci
-from repro.partitioning import KeyGrouping, OfflineGreedy, OnlineGreedy, StaticPoTC
+from repro.partitioning import OfflineGreedy
 from repro.simulation import simulate_multisource_pkg, simulate_stream
 from repro.streams.datasets import get_dataset
 
 SCHEME_ORDER = ("PKG", "Off-Greedy", "On-Greedy", "PoTC", "H")
+
+#: Table II display label -> registry spec (PKG and Off-Greedy are
+#: special-cased: PKG runs through the fast multi-source path, and
+#: Off-Greedy must be fitted on the stream before routing it)
+_REGISTRY_SPECS = {"On-Greedy": "on-greedy", "PoTC": "potc", "H": "kg"}
 
 
 @dataclass
@@ -47,12 +53,10 @@ def _run_scheme(scheme: str, keys, num_workers: int, config: ExperimentConfig):
         )
     if scheme == "Off-Greedy":
         partitioner = OfflineGreedy.from_stream(keys, num_workers)
-    elif scheme == "On-Greedy":
-        partitioner = OnlineGreedy(num_workers)
-    elif scheme == "PoTC":
-        partitioner = StaticPoTC(num_workers, seed=config.seed)
-    elif scheme == "H":
-        partitioner = KeyGrouping(num_workers, seed=config.seed)
+    elif scheme in _REGISTRY_SPECS:
+        partitioner = make_partitioner(
+            _REGISTRY_SPECS[scheme], num_workers, seed=config.seed
+        )
     else:
         raise ValueError(f"unknown Table II scheme {scheme!r}")
     return simulate_stream(

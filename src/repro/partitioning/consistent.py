@@ -21,6 +21,7 @@ from __future__ import annotations
 import bisect
 from typing import List, Optional, Tuple
 
+from repro.api.registry import register
 from repro.hashing import HashFunction
 from repro.load.base import LoadEstimator, WorkerLoadRegistry
 from repro.load.local import LocalLoadEstimator
@@ -107,6 +108,12 @@ class HashRing:
         return tuple(out)
 
 
+@register(
+    "ch",
+    aliases=("consistent", "ch-kg"),
+    params={"vnodes": "virtual_nodes"},
+    description="single-choice key grouping on a consistent-hash ring",
+)
 class ConsistentKeyGrouping(Partitioner):
     """Single-choice key grouping over a consistent-hash ring."""
 
@@ -129,6 +136,12 @@ class ConsistentKeyGrouping(Partitioner):
         return self.ring.successors(key, 1)
 
 
+@register(
+    "ch-pkg",
+    aliases=("consistent-pkg", "ring-pkg"),
+    params={"d": "num_choices", "vnodes": "virtual_nodes"},
+    description="PKG whose candidates are Chord-style ring successors",
+)
 class ConsistentPartialKeyGrouping(Partitioner):
     """PKG whose two candidates are Chord-style ring successors.
 

@@ -14,11 +14,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.load.base import LoadEstimator, WorkerLoadRegistry
 from repro.load.local import LocalLoadEstimator
 from repro.partitioning.base import Partitioner
 
 
+@register(
+    "least-loaded",
+    aliases=("ll",),
+    description="route to the globally least-loaded worker (d = W limit)",
+)
 class LeastLoaded(Partitioner):
     """Route each message to the least-loaded worker (d = W choices)."""
 

@@ -18,11 +18,17 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.load.base import LoadEstimator, WorkerLoadRegistry
 from repro.load.oracle import GlobalOracleEstimator
 from repro.partitioning.base import Partitioner
 
 
+@register(
+    "on-greedy",
+    aliases=("online-greedy",),
+    description="online greedy: bind new keys to the least-loaded worker",
+)
 class OnlineGreedy(Partitioner):
     """Online greedy: new key -> currently least-loaded worker, fixed."""
 
@@ -65,6 +71,11 @@ class OnlineGreedy(Partitioner):
             self.estimator.registry.reset()
 
 
+@register(
+    "off-greedy",
+    aliases=("offline-greedy", "lpt"),
+    description="offline LPT packing from the full frequency histogram",
+)
 class OfflineGreedy(Partitioner):
     """Offline greedy (LPT): requires the full key-frequency histogram.
 

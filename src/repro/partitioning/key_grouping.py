@@ -12,10 +12,16 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.hashing import HashFamily, HashFunction
 from repro.partitioning.base import Partitioner
 
 
+@register(
+    "kg",
+    aliases=("h", "hash", "key-grouping"),
+    description="hash key grouping, the single-choice baseline",
+)
 class KeyGrouping(Partitioner):
     """Hash-based key grouping, the paper's main baseline.
 

@@ -23,12 +23,19 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.hashing import HashFamily
 from repro.load.base import LoadEstimator, WorkerLoadRegistry
 from repro.load.local import LocalLoadEstimator
 from repro.partitioning.base import Partitioner
 
 
+@register(
+    "pkg",
+    aliases=("partial-key-grouping", "greedy-d"),
+    params={"d": "num_choices"},
+    description="PARTIAL KEY GROUPING (Greedy-d with key splitting)",
+)
 class PartialKeyGrouping(Partitioner):
     """Greedy-d stream partitioner with key splitting.
 

@@ -13,12 +13,18 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.api.registry import register
 from repro.hashing import HashFamily
 from repro.load.base import LoadEstimator, WorkerLoadRegistry
 from repro.load.oracle import GlobalOracleEstimator
 from repro.partitioning.base import Partitioner
 
 
+@register(
+    "potc",
+    aliases=("static-potc",),
+    description="static power of two choices with a routing table",
+)
 class StaticPoTC(Partitioner):
     """PoTC applied to key grouping: first-sight binding of key to choice.
 

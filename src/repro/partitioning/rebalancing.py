@@ -16,10 +16,21 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.hashing import HashFamily, HashFunction
 from repro.partitioning.base import Partitioner
 
 
+@register(
+    "kg-rebalance",
+    aliases=("rebalance", "flux"),
+    params={
+        "interval": "check_interval",
+        "threshold": "imbalance_threshold",
+        "migrations": "max_migrations_per_rebalance",
+    },
+    description="key grouping with Flux-style periodic key migration",
+)
 class RebalancingKeyGrouping(Partitioner):
     """KG plus periodic migration of the hottest keys.
 

@@ -12,9 +12,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register
 from repro.partitioning.base import Partitioner
 
 
+@register(
+    "sg",
+    aliases=("shuffle", "round-robin"),
+    description="round-robin shuffle grouping",
+)
 class ShuffleGrouping(Partitioner):
     """Cyclic round-robin partitioner.
 

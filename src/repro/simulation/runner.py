@@ -77,12 +77,27 @@ def simulate_stream(
     timestamps: Optional[Sequence[float]] = None,
     num_checkpoints: int = 100,
     keep_assignments: bool = False,
+    num_workers: Optional[int] = None,
+    seed: int = 0,
 ) -> SimulationResult:
     """Route a key stream through ``partitioner`` and measure balance.
+
+    ``partitioner`` may also be a registry scheme name or spec string
+    (``"pkg:d=3"``), in which case ``num_workers`` is required and the
+    instance is built via :func:`repro.api.make_partitioner` with
+    ``seed``.
 
     This is the single-source path (S = 1); for the multi-source
     experiments use :mod:`repro.simulation.multisource`.
     """
+    if isinstance(partitioner, str):
+        from repro.api.registry import make_partitioner
+
+        if num_workers is None:
+            raise ValueError(
+                "num_workers is required when partitioner is a scheme name"
+            )
+        partitioner = make_partitioner(partitioner, num_workers, seed=seed)
     keys = np.asarray(keys)
     workers = partitioner.route_stream(keys, timestamps)
     positions, series = load_series(

@@ -1,0 +1,174 @@
+"""Registry tests: round-trips, spec parsing, aliases, kwarg overrides."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    available_schemes,
+    make_partitioner,
+    parse_spec,
+    resolve_scheme_name,
+    scheme_info,
+)
+from repro.partitioning import (
+    ConsistentPartialKeyGrouping,
+    KeyGrouping,
+    PartialKeyGrouping,
+    Partitioner,
+    RebalancingKeyGrouping,
+)
+
+KEYS = np.arange(2_000, dtype=np.int64) % 97
+
+
+class TestRoundTrip:
+    def test_every_registered_scheme_builds_and_routes(self):
+        for name in available_schemes():
+            p = make_partitioner(name, 8, seed=3)
+            assert isinstance(p, Partitioner), name
+            assert p.num_workers == 8, name
+            routed = p.route_stream(KEYS)
+            assert routed.shape == KEYS.shape, name
+            assert routed.min() >= 0 and routed.max() < 8, name
+
+    def test_expected_builtins_present(self):
+        expected = {
+            "kg", "sg", "pkg", "potc", "on-greedy", "off-greedy",
+            "least-loaded", "kg-rebalance", "ch", "ch-pkg",
+        }
+        assert expected <= set(available_schemes())
+
+    def test_scheme_info_exposes_description(self):
+        info = scheme_info("pkg")
+        assert info.name == "pkg"
+        assert info.factory is PartialKeyGrouping
+        assert info.description
+
+    def test_seed_forwarded_when_accepted(self):
+        a = make_partitioner("kg", 10, seed=1)
+        b = make_partitioner("kg", 10, seed=1)
+        c = make_partitioner("kg", 10, seed=2)
+        routed_a, routed_b, routed_c = (
+            x.route_stream(KEYS) for x in (a, b, c)
+        )
+        assert np.array_equal(routed_a, routed_b)
+        assert not np.array_equal(routed_a, routed_c)
+
+
+class TestAliases:
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("h", "kg"),
+            ("hash", "kg"),
+            ("shuffle", "sg"),
+            ("partial-key-grouping", "pkg"),
+            ("lpt", "off-greedy"),
+            ("flux", "kg-rebalance"),
+            ("ring-pkg", "ch-pkg"),
+        ],
+    )
+    def test_alias_resolves(self, alias, canonical):
+        assert resolve_scheme_name(alias) == canonical
+        assert type(make_partitioner(alias, 4)) is type(
+            make_partitioner(canonical, 4)
+        )
+
+    def test_case_insensitive(self):
+        assert resolve_scheme_name("PKG") == "pkg"
+        assert isinstance(make_partitioner("PKG", 4), PartialKeyGrouping)
+
+    def test_unknown_scheme_lists_known(self):
+        with pytest.raises(ValueError, match="unknown partitioning scheme"):
+            make_partitioner("magic", 4)
+        with pytest.raises(ValueError, match="pkg"):
+            make_partitioner("magic", 4)
+
+
+class TestSpecStrings:
+    def test_parse_plain(self):
+        assert parse_spec("pkg") == ("pkg", {})
+
+    def test_parse_params_with_coercion(self):
+        name, params = parse_spec("kg-rebalance:interval=500,threshold=0.25")
+        assert name == "kg-rebalance"
+        assert params == {"interval": 500, "threshold": 0.25}
+        assert isinstance(params["interval"], int)
+
+    def test_parse_whitespace_and_case(self):
+        assert parse_spec(" PKG : d = 3 ")[1] == {"d": 3}
+
+    def test_pkg_d_shorthand(self):
+        p = make_partitioner("pkg:d=3", 10)
+        assert p.num_choices == 3
+
+    def test_rebalance_params_applied(self):
+        p = make_partitioner("kg-rebalance:interval=500,threshold=0.25", 6)
+        assert isinstance(p, RebalancingKeyGrouping)
+        assert p.check_interval == 500
+        assert p.imbalance_threshold == 0.25
+
+    def test_ch_pkg_vnodes(self):
+        p = make_partitioner("ch-pkg:d=2,vnodes=16", 6)
+        assert isinstance(p, ConsistentPartialKeyGrouping)
+        assert p.ring.virtual_nodes == 16
+
+    def test_seed_in_spec_wins_over_argument(self):
+        p = make_partitioner("pkg:seed=9", 10, seed=1)
+        q = make_partitioner("pkg", 10, seed=9)
+        assert np.array_equal(p.route_stream(KEYS), q.route_stream(KEYS))
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "  ", ":d=2", "pkg:d", "pkg:d=", "pkg:=3", "pkg:d==3,"],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            make_partitioner(bad, 4)
+
+    def test_unknown_param_raises_with_valid_list(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            make_partitioner("pkg:bogus=1", 4)
+        with pytest.raises(ValueError, match="num_choices"):
+            make_partitioner("pkg:bogus=1", 4)
+
+    def test_param_on_scheme_without_it_raises(self):
+        with pytest.raises(ValueError):
+            make_partitioner("sg:d=3", 4)
+
+
+class TestKwargOverrides:
+    def test_kwargs_build_scheme(self):
+        p = make_partitioner("pkg", 8, num_choices=4)
+        assert p.num_choices == 4
+
+    def test_kwargs_override_spec_params(self):
+        p = make_partitioner("pkg:d=2", 8, d=4)
+        assert p.num_choices == 4
+
+    def test_kwargs_understand_short_aliases(self):
+        p = make_partitioner("pkg", 8, d=3)
+        assert p.num_choices == 3
+
+    def test_invalid_kwarg_raises(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            make_partitioner("kg", 8, num_choices=3)
+
+
+class TestInstanceAndClassTargets:
+    def test_instance_passthrough(self):
+        p = PartialKeyGrouping(7)
+        assert make_partitioner(p, 7) is p
+
+    def test_instance_worker_mismatch_raises(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            make_partitioner(PartialKeyGrouping(7), 8)
+
+    def test_instance_with_kwargs_raises(self):
+        with pytest.raises(ValueError, match="already-built"):
+            make_partitioner(PartialKeyGrouping(7), 7, d=3)
+
+    def test_registered_class_target(self):
+        p = make_partitioner(KeyGrouping, 5, seed=2)
+        assert isinstance(p, KeyGrouping)
+        assert p.num_workers == 5

@@ -1,10 +1,20 @@
 """LPT scheduling guarantee tests for Off-Greedy.
 
-Graham's bound: LPT's makespan is at most (4/3 - 1/(3W)) times optimal.
 Off-Greedy is exactly LPT over key frequencies, so its *planned* final
-loads must respect the bound against the trivial lower bounds
-``max(total/W, heaviest key)``.
+loads must respect the classic makespan guarantees:
+
+* Against the trivial lower bound ``LB = max(total/W, heaviest)`` only
+  the *list-scheduling* bound is valid: ``makespan <= (2 - 1/W) * LB``
+  (the busiest worker started its last key when every worker held at
+  most ``(total - p_j)/W``, so ``makespan <= total/W + (1 - 1/W) p_j``).
+  Graham's tighter ``(4/3 - 1/(3W))`` factor holds against the true
+  optimum OPT, *not* against LB -- e.g. five unit keys on four workers
+  have ``LB = 5/4`` but ``OPT = makespan = 2 > (4/3)(5/4)``.
+* Against the true optimum (brute-forced on small instances), LPT must
+  satisfy Graham's ``makespan <= (4/3 - 1/(3W)) * OPT``.
 """
+
+import itertools
 
 import numpy as np
 import pytest
@@ -22,17 +32,51 @@ def planned_makespan(frequencies, num_workers):
     return loads.max(), loads
 
 
+def brute_force_opt(freqs, num_workers):
+    """Exact optimal makespan by exhaustive assignment (small inputs)."""
+    best = float("inf")
+    for assignment in itertools.product(range(num_workers), repeat=len(freqs)):
+        loads = [0] * num_workers
+        for freq, worker in zip(freqs, assignment):
+            loads[worker] += freq
+        best = min(best, max(loads))
+    return best
+
+
 class TestLPTBound:
     @given(
         st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=60),
         st.integers(min_value=1, max_value=8),
     )
     @settings(max_examples=100)
-    def test_graham_bound(self, freqs, num_workers):
+    def test_list_scheduling_bound_vs_lower_bound(self, freqs, num_workers):
         frequencies = {i: f for i, f in enumerate(freqs)}
         makespan, _ = planned_makespan(frequencies, num_workers)
         optimal_lb = max(sum(freqs) / num_workers, max(freqs))
-        assert makespan <= (4 / 3) * optimal_lb + 1e-9
+        assert makespan <= (2 - 1 / num_workers) * optimal_lb + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_graham_bound(self, freqs, num_workers):
+        """LPT is within (4/3 - 1/(3W)) of the true optimum."""
+        frequencies = {i: f for i, f in enumerate(freqs)}
+        makespan, _ = planned_makespan(frequencies, num_workers)
+        opt = brute_force_opt(freqs, num_workers)
+        assert makespan <= (4 / 3 - 1 / (3 * num_workers)) * opt + 1e-9
+
+    def test_unit_keys_exceed_four_thirds_of_lower_bound(self):
+        """The case falsifying the old (4/3)*LB assertion: LB < OPT."""
+        freqs = [1, 1, 1, 1, 1]
+        frequencies = {i: f for i, f in enumerate(freqs)}
+        makespan, _ = planned_makespan(frequencies, 4)
+        lower_bound = max(sum(freqs) / 4, max(freqs))
+        opt = brute_force_opt(freqs, 4)
+        assert makespan == opt == 2
+        assert makespan > (4 / 3) * lower_bound  # LB alone is not OPT
+        assert makespan <= (4 / 3 - 1 / 12) * opt
 
     def test_perfectly_divisible(self):
         frequencies = {i: 10 for i in range(8)}
