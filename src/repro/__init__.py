@@ -13,8 +13,13 @@ Quickstart (the unified :mod:`repro.api` facade)::
     kg = run("kg", dataset="WP", num_workers=10)
     print(pkg.average_imbalance, "<<", kg.average_imbalance)
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See ARCHITECTURE.md for the paper-section -> module map and
+EXPERIMENTS.md for the paper-vs-measured record of every table and
+figure.  EXPERIMENTS.md is generated from the JSON artifacts in
+``results/``; regenerate it with::
+
+    PYTHONPATH=src python -m repro.reports run --scale 0.1
+    PYTHONPATH=src python -m repro.reports render
 """
 
 from repro.hashing import HashFamily, HashFunction

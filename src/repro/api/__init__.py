@@ -14,6 +14,11 @@ operator:
   unified :class:`RunResult` for both the DSPE discrete-event
   simulation and the frequency-only stream replay.
 
+plus the **experiment report entry points** re-exported from
+:mod:`repro.reports` (:func:`run_experiments`, :func:`render_markdown`,
+:func:`diff_artifacts`, :func:`load_artifacts`) -- persisted JSON
+artifacts, the generated EXPERIMENTS.md, and BENCH_*.json snapshots.
+
 Quickstart::
 
     from repro.api import Topology, run
@@ -27,6 +32,46 @@ Quickstart::
     topo = (Topology().source("WP").spouts(1)
             .partition_by("pkg:d=2").workers(9, cpu_delay=0.4e-3))
     print(run(topo).throughput)
+
+Spec-string grammar
+-------------------
+
+Everywhere a scheme is named -- :func:`make_partitioner`, :func:`run`,
+``Topology.partition_by``, experiment configs, the report CLI -- a
+compact **spec string** is accepted::
+
+    spec      ::= name [":" param ("," param)*]
+    name      ::= canonical scheme name | alias     (case-insensitive)
+    param     ::= key "=" value
+    key       ::= constructor kwarg | per-scheme shorthand
+    value     ::= int | float | bool ("true"/"yes"/"on" etc.) | str
+
+Examples: ``"pkg"``, ``"pkg:d=3"`` (shorthand ``d`` ->
+``num_choices``), ``"kg-rebalance:interval=5000"``,
+``"ch-pkg:d=2,vnodes=128"``.  Resolution rules:
+
+* names and aliases resolve through the registry
+  (:func:`available_schemes` lists canonical names,
+  :func:`scheme_info` shows aliases and accepted parameters);
+* spec parameters map onto constructor keyword arguments, through the
+  per-scheme shorthand table registered with :func:`register`;
+* explicit keyword arguments passed to :func:`make_partitioner`
+  override spec-string values;
+* unknown names, malformed params, and kwargs the constructor does not
+  accept all raise :class:`ValueError` listing the valid options.
+
+Migrating from ``SCHEMES``
+--------------------------
+
+The pre-registry ``repro.dspe.topology.SCHEMES`` dict still works but
+emits :class:`DeprecationWarning`.  Replace::
+
+    SCHEMES["pkg"](num_workers)          # deprecated
+    make_partitioner("pkg", num_workers)  # registry equivalent
+
+and replace any private name->constructor tables with
+:func:`register` decorators so new schemes appear in
+:func:`available_schemes`, the benchmarks, and the report CLI for free.
 """
 
 from __future__ import annotations
@@ -51,6 +96,12 @@ _LAZY_EXPORTS = {
     "TopologyError": "repro.api.topology",
     "run": "repro.api.facade",
     "RunResult": "repro.api.facade",
+    # Experiment report pipeline (artifacts, EXPERIMENTS.md, BENCH_*.json).
+    "run_experiments": "repro.reports",
+    "render_markdown": "repro.reports",
+    "diff_artifacts": "repro.reports",
+    "load_artifacts": "repro.reports",
+    "ExperimentArtifact": "repro.reports",
 }
 
 __all__ = [
@@ -65,6 +116,11 @@ __all__ = [
     "TopologyError",
     "run",
     "RunResult",
+    "run_experiments",
+    "render_markdown",
+    "diff_artifacts",
+    "load_artifacts",
+    "ExperimentArtifact",
 ]
 
 

@@ -18,13 +18,13 @@ extras    Jaccard(G, L), d-choices ablation, probing ablation
 """
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.table1 import format_table1, run_table1
-from repro.experiments.table2 import format_table2, run_table2
-from repro.experiments.fig2 import format_fig2, run_fig2
-from repro.experiments.fig3 import format_fig3, run_fig3
-from repro.experiments.fig4 import format_fig4, run_fig4
-from repro.experiments.fig5a import format_fig5a, run_fig5a
-from repro.experiments.fig5b import format_fig5b, run_fig5b
+from repro.experiments.table1 import format_table1, run_table1, summarize_table1
+from repro.experiments.table2 import format_table2, run_table2, summarize_table2
+from repro.experiments.fig2 import format_fig2, run_fig2, summarize_fig2
+from repro.experiments.fig3 import format_fig3, run_fig3, summarize_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4, summarize_fig4
+from repro.experiments.fig5a import format_fig5a, run_fig5a, summarize_fig5a
+from repro.experiments.fig5b import format_fig5b, run_fig5b, summarize_fig5b
 from repro.experiments.extras import (
     format_dchoices,
     format_jaccard,
@@ -32,6 +32,9 @@ from repro.experiments.extras import (
     run_dchoices_ablation,
     run_jaccard,
     run_probing_ablation,
+    summarize_dchoices,
+    summarize_jaccard,
+    summarize_probing,
 )
 
 __all__ = [
@@ -56,4 +59,14 @@ __all__ = [
     "format_dchoices",
     "run_probing_ablation",
     "format_probing",
+    "summarize_table1",
+    "summarize_table2",
+    "summarize_fig2",
+    "summarize_fig3",
+    "summarize_fig4",
+    "summarize_fig5a",
+    "summarize_fig5b",
+    "summarize_jaccard",
+    "summarize_dchoices",
+    "summarize_probing",
 ]

@@ -1,8 +1,10 @@
 """Command-line entry point: ``python -m repro.experiments <name>``.
 
 Runs one experiment harness (or ``all``) and prints the paper-style
-table.  ``--scale`` shrinks/extends the stream lengths; the scales used
-for the recorded results are noted in EXPERIMENTS.md.
+table.  ``--scale`` shrinks/extends the stream lengths.  This entry
+point only prints; to *persist* results as JSON artifacts and
+regenerate EXPERIMENTS.md (whose provenance table records the scale of
+every run), use ``python -m repro.reports run`` / ``render``.
 """
 
 from __future__ import annotations
@@ -11,42 +13,12 @@ import argparse
 import sys
 import time
 
-from repro.experiments import (
-    ExperimentConfig,
-    format_dchoices,
-    format_fig2,
-    format_fig3,
-    format_fig4,
-    format_fig5a,
-    format_fig5b,
-    format_jaccard,
-    format_probing,
-    format_table1,
-    format_table2,
-    run_dchoices_ablation,
-    run_fig2,
-    run_fig3,
-    run_fig4,
-    run_fig5a,
-    run_fig5b,
-    run_jaccard,
-    run_probing_ablation,
-    run_table1,
-    run_table2,
-)
+from repro.experiments import ExperimentConfig
 
-EXPERIMENTS = {
-    "table1": lambda cfg: format_table1(run_table1(cfg)),
-    "table2": lambda cfg: format_table2(run_table2(cfg)),
-    "fig2": lambda cfg: format_fig2(run_fig2(cfg)),
-    "fig3": lambda cfg: format_fig3(run_fig3(cfg)),
-    "fig4": lambda cfg: format_fig4(run_fig4(cfg)),
-    "fig5a": lambda cfg: format_fig5a(run_fig5a(cfg)),
-    "fig5b": lambda cfg: format_fig5b(run_fig5b(cfg)),
-    "jaccard": lambda cfg: format_jaccard(run_jaccard(cfg)),
-    "dchoices": lambda cfg: format_dchoices(run_dchoices_ablation(cfg)),
-    "probing": lambda cfg: format_probing(run_probing_ablation(cfg)),
-}
+# The single name->harness registry lives in repro.reports.harnesses
+# (it also carries the records/metrics adapters used for persisted
+# artifacts); this CLI is the print-only view of the same table.
+from repro.reports.harnesses import HARNESSES
 
 
 def main(argv=None) -> int:
@@ -56,7 +28,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=sorted(HARNESSES) + ["all"],
         help="which table/figure to regenerate",
     )
     parser.add_argument(
@@ -69,10 +41,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = sorted(HARNESSES) if args.experiment == "all" else [args.experiment]
     for name in names:
+        harness = HARNESSES[name]
         start = time.time()
-        print(EXPERIMENTS[name](config))
+        print(harness.format(harness.run(config)))
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
     return 0
 

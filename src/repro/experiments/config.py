@@ -12,8 +12,10 @@ class ExperimentConfig:
 
     ``scale`` multiplies each dataset's default (already laptop-scaled)
     message count; benchmarks run at ``scale < 1`` for speed, the CLI
-    defaults to 1.  EXPERIMENTS.md records the scale used for the
-    recorded numbers.
+    defaults to 1.  The scale of each recorded run is persisted in the
+    artifact manifests under ``results/`` and shown in the provenance
+    table of the generated EXPERIMENTS.md (regenerate via
+    ``python -m repro.reports run`` / ``render``).
     """
 
     scale: float = 1.0

@@ -60,6 +60,15 @@ def run_jaccard(
     )
 
 
+def summarize_jaccard(row: JaccardRow) -> dict:
+    """Headline stats for EXPERIMENTS.md (paper: ~47% agreement)."""
+    return {
+        "jaccard": row.jaccard,
+        "imbalance_fraction_global": row.imbalance_fraction_global,
+        "imbalance_fraction_local": row.imbalance_fraction_local,
+    }
+
+
 def format_jaccard(row: JaccardRow) -> str:
     return (
         f"Jaccard overlap of G vs L{row.num_sources} destinations on "
@@ -107,6 +116,20 @@ def run_dchoices_ablation(
             )
         )
     return rows
+
+
+def summarize_dchoices(rows: List[DChoicesRow]) -> dict:
+    """Headline stats for EXPERIMENTS.md: the d=1 cliff and the
+    marginal gain beyond d=2 (paper: only constant factors)."""
+    by_d = {r.num_choices: r.average_imbalance_fraction for r in rows}
+    out = {f"imbalance_fraction[d={d}]": v for d, v in sorted(by_d.items())}
+    if by_d.get(2):
+        if 1 in by_d:
+            out["d1_over_d2"] = by_d[1] / by_d[2]
+        best_beyond = min((v for d, v in by_d.items() if d > 2), default=None)
+        if best_beyond is not None and best_beyond > 0:
+            out["d2_over_best_beyond"] = by_d[2] / best_beyond
+    return out
 
 
 def format_dchoices(rows: List[DChoicesRow]) -> str:
@@ -176,6 +199,23 @@ def run_probing_ablation(
             )
         )
     return rows
+
+
+def summarize_probing(rows: List[ProbingRow]) -> dict:
+    """Headline stats for EXPERIMENTS.md: best probing improvement over
+    pure local estimation (paper: probing does not help)."""
+    local = next((r for r in rows if r.probe_period == 0.0), None)
+    out = {
+        f"imbalance_fraction[{r.label}]": r.average_imbalance_fraction for r in rows
+    }
+    if local and local.average_imbalance_fraction > 0:
+        probed = [r for r in rows if r.probe_period > 0]
+        if probed:
+            out["best_probing_over_local"] = (
+                min(r.average_imbalance_fraction for r in probed)
+                / local.average_imbalance_fraction
+            )
+    return out
 
 
 def format_probing(rows: List[ProbingRow]) -> str:

@@ -94,6 +94,42 @@ def run_fig2(
     return rows
 
 
+def summarize_fig2(rows: List[Fig2Row]) -> dict:
+    """Headline stats for EXPERIMENTS.md.
+
+    Per dataset: the worst-case ratio of local estimation to the global
+    oracle over all (W, S) -- the paper claims L stays within about one
+    order of magnitude of G -- and the best-case hashing/oracle ratio
+    (H is meant to be orders of magnitude worse everywhere feasible).
+    """
+    by_key = {(r.dataset, r.technique, r.num_workers): r.average_imbalance for r in rows}
+    datasets = list(dict.fromkeys(r.dataset for r in rows))
+    workers = sorted({r.num_workers for r in rows})
+    locals_ = sorted(
+        {r.technique for r in rows if r.technique.startswith("L")},
+        key=lambda t: int(t[1:]),
+    )
+    out = {}
+    for d in datasets:
+        l_over_g, h_over_g = [], []
+        for w in workers:
+            g = by_key.get((d, "G", w))
+            h = by_key.get((d, "H", w))
+            if not g:
+                continue
+            if h:
+                h_over_g.append(h / g)
+            for t in locals_:
+                l = by_key.get((d, t, w))
+                if l:
+                    l_over_g.append(l / g)
+        if l_over_g:
+            out[f"local_over_global_max[{d}]"] = max(l_over_g)
+        if h_over_g:
+            out[f"hash_over_global_min[{d}]"] = min(h_over_g)
+    return out
+
+
 def format_fig2(rows: List[Fig2Row]) -> str:
     datasets = list(dict.fromkeys(r.dataset for r in rows))
     workers = sorted({r.num_workers for r in rows})

@@ -99,6 +99,32 @@ def run_fig3(
     return out
 
 
+def summarize_fig3(series: List[Fig3Series]) -> dict:
+    """Headline stats for EXPERIMENTS.md.
+
+    Per case: the local/global ratio of mean imbalance fraction (the
+    paper's claim: G and L5 are indistinguishable) and the probing/local
+    ratio (probing adds nothing).
+    """
+    out = {}
+    by_case = {}
+    for s in series:
+        by_case.setdefault((s.dataset, s.num_workers), {})[s.technique] = s
+    for (d, w), techs in sorted(by_case.items()):
+        g = next((s for t, s in techs.items() if t == "G"), None)
+        local = next(
+            (s for t, s in techs.items() if t.startswith("L") and "P" not in t), None
+        )
+        probing = next((s for t, s in techs.items() if "P" in t), None)
+        if g and local and g.mean_fraction > 0:
+            out[f"local_over_global[{d},W={w}]"] = local.mean_fraction / g.mean_fraction
+        if local and probing and local.mean_fraction > 0:
+            out[f"probing_over_local[{d},W={w}]"] = (
+                probing.mean_fraction / local.mean_fraction
+            )
+    return out
+
+
 def format_fig3(series: List[Fig3Series]) -> str:
     table_rows = []
     for s in series:

@@ -72,6 +72,37 @@ def run_fig4(
     return rows
 
 
+def summarize_fig4(rows: List[Fig4Row]) -> dict:
+    """Headline stats for EXPERIMENTS.md.
+
+    The worst skewed/uniform imbalance ratio over all (S, W) per dataset
+    (the paper's claim: PKG is robust to skewed source splits, so the
+    ratio stays near 1) plus the overall worst absolute fraction.
+    """
+    out = {}
+    datasets = list(dict.fromkeys(r.dataset for r in rows))
+    by_key = {
+        (r.dataset, r.split, r.num_sources, r.num_workers): (
+            r.average_imbalance_fraction
+        )
+        for r in rows
+    }
+    for d in datasets:
+        ratios = []
+        for r in rows:
+            if r.dataset != d or r.split != "skewed":
+                continue
+            uniform = by_key.get((d, "uniform", r.num_sources, r.num_workers))
+            if uniform:
+                ratios.append(r.average_imbalance_fraction / uniform)
+        if ratios:
+            out[f"skewed_over_uniform_max[{d}]"] = max(ratios)
+        out[f"max_imbalance_fraction[{d}]"] = max(
+            r.average_imbalance_fraction for r in rows if r.dataset == d
+        )
+    return out
+
+
 def format_fig4(rows: List[Fig4Row]) -> str:
     datasets = list(dict.fromkeys(r.dataset for r in rows))
     workers = sorted({r.num_workers for r in rows})

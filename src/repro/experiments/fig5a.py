@@ -78,6 +78,24 @@ def degradations(rows: List[Fig5aRow]) -> dict:
     return out
 
 
+def summarize_fig5a(rows: List[Fig5aRow]) -> dict:
+    """Headline stats for EXPERIMENTS.md: throughput degradation per
+    scheme over the delay sweep and PKG's edge over KG at the highest
+    delay (the paper: KG loses ~60%, PKG/SG ~37%)."""
+    out = {f"throughput_loss[{s}]": d for s, d in sorted(degradations(rows).items())}
+    max_delay = max(r.cpu_delay for r in rows)
+    at_max = {r.scheme: r for r in rows if r.cpu_delay == max_delay}
+    kg = at_max.get("KG")
+    if kg and kg.throughput > 0:
+        for scheme in ("PKG", "SG"):
+            r = at_max.get(scheme)
+            if r:
+                out[f"{scheme.lower()}_over_kg_throughput_at_max_delay"] = (
+                    r.throughput / kg.throughput
+                )
+    return out
+
+
 def format_fig5a(rows: List[Fig5aRow]) -> str:
     table_rows = [
         [

@@ -94,6 +94,40 @@ def run_fig5b(
     return rows
 
 
+def summarize_fig5b(rows: List[Fig5bRow]) -> dict:
+    """Headline stats for EXPERIMENTS.md.
+
+    Per aggregation period T: PKG/SG throughput and memory ratios (the
+    paper: PKG beats SG with roughly half the memory), plus the smallest
+    T at which PKG overtakes the saturated KG reference line.
+    """
+    by_key = {(r.scheme, r.aggregation_period): r for r in rows}
+    periods = sorted({r.aggregation_period for r in rows if r.aggregation_period > 0})
+    out = {}
+    for t in periods:
+        pkg, sg = by_key.get(("PKG", t)), by_key.get(("SG", t))
+        if pkg and sg and sg.throughput > 0:
+            out[f"pkg_over_sg_throughput[T={t:g}s]"] = pkg.throughput / sg.throughput
+        if pkg and sg and sg.average_memory_counters > 0:
+            out[f"pkg_over_sg_memory[T={t:g}s]"] = (
+                pkg.average_memory_counters / sg.average_memory_counters
+            )
+    kg = by_key.get(("KG", 0.0))
+    if kg and kg.throughput > 0:
+        crossover = next(
+            (
+                t
+                for t in periods
+                if ("PKG", t) in by_key
+                and by_key[("PKG", t)].throughput > kg.throughput
+            ),
+            None,
+        )
+        if crossover is not None:
+            out["pkg_over_kg_crossover_period_s"] = crossover
+    return out
+
+
 def format_fig5b(rows: List[Fig5bRow]) -> str:
     table_rows = [
         [

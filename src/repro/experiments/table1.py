@@ -57,6 +57,16 @@ def run_table1(config: Optional[ExperimentConfig] = None) -> List[Table1Row]:
     return rows
 
 
+def summarize_table1(rows: List[Table1Row]) -> dict:
+    """Headline stats for EXPERIMENTS.md: p1 calibration fidelity."""
+    out = {}
+    for r in rows:
+        out[f"measured_p1_percent[{r.symbol}]"] = r.measured_p1_percent
+        out[f"p1_rel_err[{r.symbol}]"] = r.p1_relative_error
+    out["max_p1_rel_err"] = max(r.p1_relative_error for r in rows)
+    return out
+
+
 def format_table1(rows: List[Table1Row]) -> str:
     def human(x: float) -> str:
         if x >= 1e9:

@@ -91,6 +91,40 @@ def run_table2(
     return rows
 
 
+def summarize_table2(rows: List[Table2Row]) -> dict:
+    """Headline stats for EXPERIMENTS.md: how much PKG wins by.
+
+    Geometric means over W of the hashing/PKG and PKG/Off-Greedy
+    imbalance ratios per dataset (the paper's qualitative claims: H is
+    orders of magnitude worse; PKG competes with offline greedy).
+    """
+    import math
+
+    by_key = {(r.dataset, r.scheme, r.num_workers): r.average_imbalance for r in rows}
+    datasets = sorted({r.dataset for r in rows})
+    workers = sorted({r.num_workers for r in rows})
+    out = {}
+    for d in datasets:
+        h_over_pkg, pkg_over_off = [], []
+        for w in workers:
+            pkg = by_key.get((d, "PKG", w))
+            h = by_key.get((d, "H", w))
+            off = by_key.get((d, "Off-Greedy", w))
+            if pkg and h:
+                h_over_pkg.append(h / pkg)
+            if pkg and off:
+                pkg_over_off.append(pkg / off)
+        if h_over_pkg:
+            out[f"hash_over_pkg_geomean[{d}]"] = math.exp(
+                sum(math.log(x) for x in h_over_pkg) / len(h_over_pkg)
+            )
+        if pkg_over_off:
+            out[f"pkg_over_offgreedy_geomean[{d}]"] = math.exp(
+                sum(math.log(x) for x in pkg_over_off) / len(pkg_over_off)
+            )
+    return out
+
+
 def format_table2(rows: List[Table2Row]) -> str:
     datasets = sorted({r.dataset for r in rows})
     workers = sorted({r.num_workers for r in rows})

@@ -1,0 +1,321 @@
+"""Wiring between the experiment harnesses and the artifact schema.
+
+Each paper table/figure gets one :class:`ReportHarness` that knows how
+to run the underlying ``run_*`` function, flatten its dataclass rows
+into JSON records, extract the headline ``summary`` (via the
+experiment module's own ``summarize_*``), derive the flat directed
+metric list used by ``repro.reports diff``, and re-render the
+paper-style text table from persisted records (used by the
+EXPERIMENTS.md renderer, so rendering never needs to re-run anything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_dchoices,
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_fig5a,
+    format_fig5b,
+    format_jaccard,
+    format_probing,
+    format_table1,
+    format_table2,
+    run_dchoices_ablation,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+    run_jaccard,
+    run_probing_ablation,
+    run_table1,
+    run_table2,
+    summarize_dchoices,
+    summarize_fig2,
+    summarize_fig3,
+    summarize_fig4,
+    summarize_fig5a,
+    summarize_fig5b,
+    summarize_jaccard,
+    summarize_probing,
+    summarize_table1,
+    summarize_table2,
+)
+from repro.experiments.extras import DChoicesRow, JaccardRow, ProbingRow
+from repro.experiments.fig2 import Fig2Row
+from repro.experiments.fig3 import Fig3Series
+from repro.experiments.fig4 import Fig4Row
+from repro.experiments.fig5a import Fig5aRow
+from repro.experiments.fig5b import Fig5bRow
+from repro.experiments.table1 import Table1Row
+from repro.experiments.table2 import Table2Row
+from repro.reports.schema import Metric, jsonify
+
+__all__ = ["ReportHarness", "HARNESSES", "get_harness", "harness_names"]
+
+
+@dataclass(frozen=True)
+class ReportHarness:
+    """One experiment's adapter onto the artifact schema."""
+
+    name: str
+    paper_section: str
+    title: str
+    run: Callable[[ExperimentConfig], List[Any]]
+    summarize: Callable[[List[Any]], Dict[str, Any]]
+    format: Callable[[List[Any]], str]
+    metrics: Callable[[List[Any]], List[Metric]]
+    row_type: type
+    #: record fields that must come back as numpy arrays on rehydrate
+    array_fields: Tuple[str, ...] = ()
+
+    def records(self, rows: Sequence[Any]) -> List[Dict[str, Any]]:
+        return [jsonify(row) for row in rows]
+
+    def rehydrate(self, records: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Rebuild dataclass rows from persisted JSON records."""
+        rows = []
+        for record in records:
+            kwargs = dict(record)
+            for name in self.array_fields:
+                if name in kwargs:
+                    kwargs[name] = np.asarray(kwargs[name], dtype=float)
+            rows.append(self.row_type(**kwargs))
+        return rows
+
+
+def _metrics_table1(rows: List[Table1Row]) -> List[Metric]:
+    return [Metric(f"p1_rel_err[{r.symbol}]", r.p1_relative_error) for r in rows]
+
+
+def _metrics_table2(rows: List[Table2Row]) -> List[Metric]:
+    return [
+        Metric(
+            f"avg_imbalance[{r.dataset},W={r.num_workers},{r.scheme}]",
+            r.average_imbalance,
+        )
+        for r in rows
+    ]
+
+
+def _metrics_fig2(rows: List[Fig2Row]) -> List[Metric]:
+    return [
+        Metric(
+            f"imbalance_fraction[{r.dataset},W={r.num_workers},{r.technique}]",
+            r.average_imbalance_fraction,
+        )
+        for r in rows
+    ]
+
+
+def _metrics_fig3(series: List[Fig3Series]) -> List[Metric]:
+    out = []
+    for s in series:
+        key = f"{s.dataset},W={s.num_workers},{s.technique}"
+        out.append(Metric(f"mean_fraction[{key}]", s.mean_fraction))
+        out.append(Metric(f"final_fraction[{key}]", s.final_fraction))
+    return out
+
+
+def _metrics_fig4(rows: List[Fig4Row]) -> List[Metric]:
+    return [
+        Metric(
+            f"imbalance_fraction[{r.dataset},{r.split},S={r.num_sources},"
+            f"W={r.num_workers}]",
+            r.average_imbalance_fraction,
+        )
+        for r in rows
+    ]
+
+
+def _metrics_fig5a(rows: List[Fig5aRow]) -> List[Metric]:
+    out = []
+    for r in rows:
+        key = f"{r.scheme},delay={r.cpu_delay * 1e3:g}ms"
+        out.append(Metric(f"throughput[{key}]", r.throughput, "higher"))
+        out.append(Metric(f"mean_latency[{key}]", r.mean_latency))
+        out.append(Metric(f"p99_latency[{key}]", r.p99_latency))
+    return out
+
+
+def _metrics_fig5b(rows: List[Fig5bRow]) -> List[Metric]:
+    out = []
+    for r in rows:
+        key = f"{r.scheme},T={r.aggregation_period:g}s"
+        out.append(Metric(f"throughput[{key}]", r.throughput, "higher"))
+        out.append(
+            Metric(f"avg_memory_counters[{key}]", r.average_memory_counters)
+        )
+    return out
+
+
+def _metrics_jaccard(rows: List[JaccardRow]) -> List[Metric]:
+    (r,) = rows
+    return [
+        Metric("imbalance_fraction[G]", r.imbalance_fraction_global),
+        Metric(f"imbalance_fraction[L{r.num_sources}]", r.imbalance_fraction_local),
+    ]
+
+
+def _metrics_dchoices(rows: List[DChoicesRow]) -> List[Metric]:
+    return [
+        Metric(
+            f"imbalance_fraction[d={r.num_choices}]", r.average_imbalance_fraction
+        )
+        for r in rows
+    ]
+
+
+def _metrics_probing(rows: List[ProbingRow]) -> List[Metric]:
+    return [
+        Metric(f"imbalance_fraction[{r.label}]", r.average_imbalance_fraction)
+        for r in rows
+    ]
+
+
+def _as_list(fn):
+    """Wrap a single-row runner so every harness returns a list."""
+
+    def run(config):
+        return [fn(config)]
+
+    return run
+
+
+def _first(fn):
+    """Wrap a single-row formatter/summarizer to take the row list."""
+
+    def call(rows):
+        return fn(rows[0])
+
+    return call
+
+
+HARNESSES: Dict[str, ReportHarness] = {
+    h.name: h
+    for h in (
+        ReportHarness(
+            name="table1",
+            paper_section="Table I",
+            title="Datasets: paper statistics vs generated streams",
+            run=run_table1,
+            summarize=summarize_table1,
+            format=format_table1,
+            metrics=_metrics_table1,
+            row_type=Table1Row,
+        ),
+        ReportHarness(
+            name="table2",
+            paper_section="Table II",
+            title="Average imbalance: PKG vs greedy/PoTC/hashing",
+            run=run_table2,
+            summarize=summarize_table2,
+            format=format_table2,
+            metrics=_metrics_table2,
+            row_type=Table2Row,
+        ),
+        ReportHarness(
+            name="fig2",
+            paper_section="Figure 2",
+            title="Imbalance fraction vs workers: H vs G vs L5..L20",
+            run=run_fig2,
+            summarize=summarize_fig2,
+            format=format_fig2,
+            metrics=_metrics_fig2,
+            row_type=Fig2Row,
+        ),
+        ReportHarness(
+            name="fig3",
+            paper_section="Figure 3",
+            title="Imbalance fraction through time: G vs L5 vs L5P1",
+            run=run_fig3,
+            summarize=summarize_fig3,
+            format=format_fig3,
+            metrics=_metrics_fig3,
+            row_type=Fig3Series,
+            array_fields=("hours", "imbalance_fraction"),
+        ),
+        ReportHarness(
+            name="fig4",
+            paper_section="Figure 4",
+            title="Uniform vs skewed source splits on graph streams",
+            run=run_fig4,
+            summarize=summarize_fig4,
+            format=format_fig4,
+            metrics=_metrics_fig4,
+            row_type=Fig4Row,
+        ),
+        ReportHarness(
+            name="fig5a",
+            paper_section="Figure 5(a)",
+            title="Cluster throughput and latency vs per-key CPU delay",
+            run=run_fig5a,
+            summarize=summarize_fig5a,
+            format=format_fig5a,
+            metrics=_metrics_fig5a,
+            row_type=Fig5aRow,
+        ),
+        ReportHarness(
+            name="fig5b",
+            paper_section="Figure 5(b)",
+            title="Throughput vs memory across aggregation periods",
+            run=run_fig5b,
+            summarize=summarize_fig5b,
+            format=format_fig5b,
+            metrics=_metrics_fig5b,
+            row_type=Fig5bRow,
+        ),
+        ReportHarness(
+            name="jaccard",
+            paper_section="Section VII-B (Q2)",
+            title="Routing agreement of global vs local estimation",
+            run=_as_list(run_jaccard),
+            summarize=_first(summarize_jaccard),
+            format=_first(format_jaccard),
+            metrics=_metrics_jaccard,
+            row_type=JaccardRow,
+        ),
+        ReportHarness(
+            name="dchoices",
+            paper_section="Section III (Greedy-d)",
+            title="Ablation: number of choices d",
+            run=run_dchoices_ablation,
+            summarize=summarize_dchoices,
+            format=format_dchoices,
+            metrics=_metrics_dchoices,
+            row_type=DChoicesRow,
+        ),
+        ReportHarness(
+            name="probing",
+            paper_section="Section VII-B (Q2, probing)",
+            title="Ablation: probing frequency",
+            run=run_probing_ablation,
+            summarize=summarize_probing,
+            format=format_probing,
+            metrics=_metrics_probing,
+            row_type=ProbingRow,
+        ),
+    )
+}
+
+
+def harness_names() -> List[str]:
+    """All report harness names, in paper order."""
+    return list(HARNESSES)
+
+
+def get_harness(name: str) -> ReportHarness:
+    try:
+        return HARNESSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; known: {', '.join(HARNESSES)}"
+        ) from None

@@ -49,7 +49,9 @@ class DatasetSpec:
     symbol:
         The paper's short symbol (WP, TW, ...).
     paper_messages / paper_keys / paper_p1_percent:
-        The values reported in Table I (for EXPERIMENTS.md comparisons).
+        The values reported in Table I; the ``table1`` harness compares
+        them against the generated streams in EXPERIMENTS.md
+        (regenerated from ``results/`` by ``python -m repro.reports``).
     num_keys / default_messages:
         The scaled key-universe and default stream length used here.
     kind:

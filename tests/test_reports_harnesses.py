@@ -1,0 +1,119 @@
+"""Harness adapters: records/rehydrate round-trips, metrics, summaries.
+
+Uses hand-built rows (no simulation) so these stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3 import Fig3Series
+from repro.experiments.fig5a import Fig5aRow, summarize_fig5a
+from repro.experiments.fig5b import Fig5bRow, summarize_fig5b
+from repro.experiments.table2 import Table2Row, summarize_table2
+from repro.reports import HARNESSES, get_harness, harness_names
+
+
+def table2_rows():
+    rows = []
+    for w in (5, 10):
+        for scheme, imbalance in (("PKG", 1.0), ("Off-Greedy", 2.0), ("H", 1000.0)):
+            rows.append(
+                Table2Row(
+                    dataset="WP",
+                    scheme=scheme,
+                    num_workers=w,
+                    average_imbalance=imbalance * w,
+                    final_imbalance=imbalance,
+                    num_messages=10_000,
+                )
+            )
+    return rows
+
+
+class TestRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert harness_names() == [
+            "table1", "table2", "fig2", "fig3", "fig4",
+            "fig5a", "fig5b", "jaccard", "dchoices", "probing",
+        ]
+
+    def test_unknown_harness(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_harness("fig6")
+
+    def test_paper_sections_are_set(self):
+        for harness in HARNESSES.values():
+            assert harness.paper_section
+            assert harness.title
+
+
+class TestRecordsRoundTrip:
+    def test_table2_records_rehydrate(self):
+        harness = get_harness("table2")
+        rows = table2_rows()
+        back = harness.rehydrate(harness.records(rows))
+        assert back == rows
+        assert harness.format(back) == harness.format(rows)
+
+    def test_fig3_arrays_rehydrate(self):
+        harness = get_harness("fig3")
+        series = [
+            Fig3Series(
+                dataset="TW",
+                technique="G",
+                num_workers=10,
+                hours=np.array([1.0, 2.0, 3.0]),
+                imbalance_fraction=np.array([0.1, 0.05, 0.01]),
+            )
+        ]
+        (back,) = harness.rehydrate(harness.records(series))
+        assert isinstance(back.hours, np.ndarray)
+        np.testing.assert_allclose(back.hours, series[0].hours)
+        np.testing.assert_allclose(
+            back.imbalance_fraction, series[0].imbalance_fraction
+        )
+        assert back.final_fraction == pytest.approx(0.01)
+
+    def test_metrics_have_unique_names(self):
+        harness = get_harness("table2")
+        metrics = harness.metrics(table2_rows())
+        names = [m.name for m in metrics]
+        assert len(names) == len(set(names)) == 6
+
+
+class TestSummaries:
+    def test_table2_summary_ratios(self):
+        summary = summarize_table2(table2_rows())
+        assert summary["hash_over_pkg_geomean[WP]"] == pytest.approx(1000.0)
+        assert summary["pkg_over_offgreedy_geomean[WP]"] == pytest.approx(0.5)
+
+    def test_fig5a_summary_degradation_and_ratio(self):
+        rows = [
+            Fig5aRow("PKG", 0.1e-3, 1000.0, 0.01, 0.02, 0.1),
+            Fig5aRow("PKG", 1.0e-3, 630.0, 0.01, 0.02, 0.1),
+            Fig5aRow("KG", 0.1e-3, 900.0, 0.01, 0.02, 0.1),
+            Fig5aRow("KG", 1.0e-3, 360.0, 0.01, 0.02, 0.1),
+        ]
+        summary = summarize_fig5a(rows)
+        assert summary["throughput_loss[PKG]"] == pytest.approx(0.37)
+        assert summary["throughput_loss[KG]"] == pytest.approx(0.60)
+        assert summary["pkg_over_kg_throughput_at_max_delay"] == pytest.approx(
+            630.0 / 360.0
+        )
+
+    def test_fig5b_summary_crossover(self):
+        rows = [
+            Fig5bRow("PKG", 1.0, 80.0, 100.0, 120, 10),
+            Fig5bRow("PKG", 30.0, 120.0, 200.0, 240, 1),
+            Fig5bRow("SG", 1.0, 70.0, 220.0, 250, 10),
+            Fig5bRow("SG", 30.0, 100.0, 410.0, 500, 1),
+            Fig5bRow("KG", 0.0, 100.0, 50.0, 60, 0),
+        ]
+        summary = summarize_fig5b(rows)
+        assert summary["pkg_over_sg_memory[T=30s]"] == pytest.approx(200 / 410)
+        assert summary["pkg_over_kg_crossover_period_s"] == 30.0
+
+    def test_summaries_are_jsonable(self):
+        from repro.reports.schema import jsonify
+
+        assert jsonify(summarize_table2(table2_rows()))

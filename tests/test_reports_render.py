@@ -1,0 +1,71 @@
+"""EXPERIMENTS.md renderer: golden file, determinism, staleness."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.reports import (
+    is_stale,
+    load_artifacts,
+    render_markdown,
+    render_to_file,
+)
+
+DATA = Path(__file__).parent / "data"
+
+
+@pytest.fixture()
+def fixture_artifacts():
+    return load_artifacts(DATA)
+
+
+class TestGolden:
+    def test_matches_golden_file(self, fixture_artifacts):
+        golden = (DATA / "golden_experiments.md").read_text()
+        assert render_markdown(fixture_artifacts) == golden
+
+    def test_render_is_deterministic(self, fixture_artifacts):
+        assert render_markdown(fixture_artifacts) == render_markdown(
+            fixture_artifacts
+        )
+
+    def test_golden_content_includes_table_and_provenance(self, fixture_artifacts):
+        md = render_markdown(fixture_artifacts)
+        assert "## Table II" in md
+        assert "Scheme  WP W=5  WP W=10" in md  # re-rendered paper table
+        assert "`fixture000`" in md  # git sha from the manifest
+        assert "hash_over_pkg_geomean[WP]" in md  # headline summary
+
+
+class TestRenderToFile:
+    def test_write_and_freshness(self, fixture_artifacts, tmp_path):
+        out = tmp_path / "EXPERIMENTS.md"
+        assert is_stale(fixture_artifacts, out)  # missing -> stale
+        render_to_file(fixture_artifacts, out)
+        assert not is_stale(fixture_artifacts, out)
+        out.write_text(out.read_text() + "manual edit\n")
+        assert is_stale(fixture_artifacts, out)
+
+    def test_empty_artifact_set_rejected(self):
+        with pytest.raises(ValueError, match="no artifacts"):
+            render_markdown({})
+
+
+class TestUnknownExperiment:
+    def test_unknown_harness_renders_summary_only(self, fixture_artifacts):
+        from repro.reports import ExperimentArtifact
+
+        artifact = fixture_artifacts["table2"]
+        custom = ExperimentArtifact(
+            experiment="my-extension",
+            paper_section="Extension",
+            manifest=artifact.manifest,
+            records=[{"x": 1}],
+            summary={"speedup": 2.0},
+            metrics=[],
+        )
+        md = render_markdown({**fixture_artifacts, "my-extension": custom})
+        assert "## Extension — my-extension" in md
+        assert "`speedup`" in md
+        # Known harness sections still render before unknown extras.
+        assert md.index("## Table II") < md.index("## Extension")

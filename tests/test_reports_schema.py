@@ -1,0 +1,184 @@
+"""Artifact schema: validation, JSON round-trips, disk IO."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reports import (
+    SCHEMA_VERSION,
+    ExperimentArtifact,
+    Metric,
+    RunManifest,
+    SchemaError,
+    load_artifact,
+    load_artifacts,
+    write_artifact,
+)
+from repro.reports.schema import jsonify
+
+
+def make_manifest(**overrides):
+    base = dict(
+        seed=42,
+        scale=0.1,
+        git_sha="deadbeef",
+        created_utc="2026-01-01T00:00:00Z",
+        workers=(5, 10),
+        duration_seconds=1.5,
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+def make_artifact(**overrides):
+    base = dict(
+        experiment="table2",
+        paper_section="Table II",
+        manifest=make_manifest(),
+        records=[{"dataset": "WP", "scheme": "PKG", "average_imbalance": 1.5}],
+        summary={"hash_over_pkg_geomean[WP]": 100.0},
+        metrics=[Metric("avg_imbalance[WP,W=10,PKG]", 1.5)],
+    )
+    base.update(overrides)
+    return ExperimentArtifact(**base)
+
+
+class TestManifestValidation:
+    def test_valid(self):
+        make_manifest()
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(SchemaError, match="scale"):
+            make_manifest(scale=0)
+        with pytest.raises(SchemaError, match="scale"):
+            make_manifest(scale=-1.0)
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(SchemaError, match="seed"):
+            make_manifest(seed="42")
+        with pytest.raises(SchemaError, match="seed"):
+            make_manifest(seed=True)
+
+    def test_git_sha_and_created_required(self):
+        with pytest.raises(SchemaError, match="git_sha"):
+            make_manifest(git_sha="")
+        with pytest.raises(SchemaError, match="created_utc"):
+            make_manifest(created_utc="")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchemaError, match="duration"):
+            make_manifest(duration_seconds=-0.1)
+
+    def test_from_json_dict_requires_seed_and_scale(self):
+        with pytest.raises(SchemaError, match="missing required"):
+            RunManifest.from_json_dict({"seed": 42})
+        with pytest.raises(SchemaError, match="missing required"):
+            RunManifest.from_json_dict({"scale": 1.0})
+
+    def test_from_json_dict_ignores_unknown_fields(self):
+        m = RunManifest.from_json_dict(
+            {"seed": 1, "scale": 2.0, "git_sha": "abc",
+             "created_utc": "t", "future_field": "ignored"}
+        )
+        assert m.seed == 1 and m.scale == 2.0
+
+
+class TestMetricValidation:
+    def test_direction_must_be_known(self):
+        with pytest.raises(SchemaError, match="direction"):
+            Metric("m", 1.0, "sideways")
+
+    def test_name_required(self):
+        with pytest.raises(SchemaError, match="name"):
+            Metric("", 1.0)
+
+    def test_value_must_be_number(self):
+        with pytest.raises(SchemaError, match="value"):
+            Metric("m", "fast")
+
+    def test_non_finite_values_rejected(self):
+        # NaN would fail open through the diff gate (all comparisons
+        # False -> "ok") so it must never enter an artifact.
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SchemaError, match="finite"):
+                Metric("m", bad)
+
+
+class TestArtifactValidation:
+    def test_valid(self):
+        make_artifact()
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(SchemaError, match="newer"):
+            make_artifact(schema_version=SCHEMA_VERSION + 1)
+
+    def test_records_must_be_dicts(self):
+        with pytest.raises(SchemaError, match="records"):
+            make_artifact(records=[("WP", 1.5)])
+
+    def test_duplicate_metric_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            make_artifact(metrics=[Metric("m", 1.0), Metric("m", 2.0)])
+
+    def test_wrong_kind_rejected(self):
+        data = make_artifact().to_json_dict()
+        data["kind"] = "something-else"
+        with pytest.raises(SchemaError, match="kind"):
+            ExperimentArtifact.from_json_dict(data)
+
+
+class TestJsonify:
+    def test_numpy_scalars_and_arrays(self):
+        out = jsonify(
+            {"a": np.int64(3), "b": np.float32(1.5), "c": np.arange(3),
+             "d": np.bool_(True)}
+        )
+        assert out == {"a": 3, "b": 1.5, "c": [0, 1, 2], "d": True}
+        # Everything must survive a strict JSON round-trip.
+        assert json.loads(json.dumps(out)) == out
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(SchemaError, match="serialise"):
+            jsonify(object())
+
+
+class TestRoundTrip:
+    def test_write_load_render_cycle(self, tmp_path):
+        artifact = make_artifact()
+        path = write_artifact(artifact, tmp_path)
+        assert path.name == "table2.json"
+        loaded = load_artifact(path)
+        assert loaded.experiment == artifact.experiment
+        assert loaded.paper_section == artifact.paper_section
+        assert loaded.manifest == artifact.manifest
+        assert loaded.records == artifact.records
+        assert loaded.summary == artifact.summary
+        assert loaded.metrics == artifact.metrics
+        # Write-out of the loaded artifact is byte-identical (stable JSON).
+        assert write_artifact(loaded, tmp_path / "again").read_text() == (
+            path.read_text()
+        )
+
+    def test_load_artifacts_skips_non_artifact_json(self, tmp_path):
+        write_artifact(make_artifact(), tmp_path)
+        (tmp_path / "BENCH_experiments.json").write_text(
+            json.dumps({"kind": "repro-bench-snapshot", "results": []})
+        )
+        loaded = load_artifacts(tmp_path)
+        assert list(loaded) == ["table2"]
+
+    def test_load_artifacts_missing_dir(self, tmp_path):
+        with pytest.raises(SchemaError, match="does not exist"):
+            load_artifacts(tmp_path / "nope")
+
+    def test_invalid_json_reported_with_path(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SchemaError, match="bad.json"):
+            load_artifact(bad)
+
+    def test_nan_in_summary_fails_loudly_on_write(self, tmp_path):
+        artifact = make_artifact(summary={"ratio": float("nan")})
+        with pytest.raises(SchemaError, match="non-finite"):
+            write_artifact(artifact, tmp_path)
