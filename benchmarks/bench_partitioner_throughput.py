@@ -21,12 +21,12 @@ KEYS = ZipfKeyDistribution(1.1, 10_000).sample(
     ["kg", "sg", "pkg", "pkg:d=4"],
     ids=["KG", "SG", "PKG-d2", "PKG-d4"],
 )
-def test_route_stream_throughput(benchmark, spec):
+def test_route_chunk_throughput(benchmark, spec):
     partitioner = make_partitioner(spec, 16)
 
     def run():
         partitioner.reset()
-        return partitioner.route_stream(KEYS)
+        return partitioner.route_chunk(KEYS)
 
     routed = benchmark(run)
     assert routed.size == KEYS.size
@@ -42,7 +42,7 @@ def test_table_based_scheme_throughput(benchmark, spec):
 
     def run():
         partitioner = make_partitioner(spec, 16)
-        return partitioner.route_stream(keys)
+        return partitioner.route_chunk(keys)
 
     routed = benchmark.pedantic(run, rounds=3, iterations=1)
     assert routed.size == keys.size

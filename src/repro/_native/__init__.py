@@ -1,0 +1,12 @@
+"""Optional C acceleration for the chunked routing loops.
+
+Only source lives in the repository (``kernels.c`` + the ctypes
+builder); compiled ``*.so`` artifacts are produced on demand next to
+this package and are gitignored.  Everything here is optional: callers
+must treat ``get_kernels() is None`` as the normal no-compiler case and
+fall back to the pure-Python chunk loops.
+"""
+
+from repro._native.build import NativeKernels, get_kernels, native_disabled
+
+__all__ = ["NativeKernels", "get_kernels", "native_disabled"]

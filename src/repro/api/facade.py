@@ -5,6 +5,12 @@ replay (Sections V's Q1-Q3 simulations) and the discrete-event DSPE
 cluster (Q4's throughput/latency/memory deployment experiments) --
 report through one result type, so notebooks, experiment harnesses, and
 benchmarks can swap paths without reshaping their downstream code.
+
+Both paths also *execute* through one core: the frequency path replays
+on the chunked engine (:func:`repro.core.engine.replay_stream` /
+``replay_per_source``, reached via the thin
+:mod:`repro.simulation` adapters) and the DSPE path schedules on the
+same package's :class:`~repro.core.engine.EventLoop`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,120 @@
+"""Stream chunking and key encoding for the chunked execution core.
+
+Two jobs:
+
+* **Chunking** -- :func:`iter_chunks` slices a stream into fixed-size
+  ``[start, stop)`` windows so the engine can route, measure, and
+  discard one window at a time instead of materialising per-message
+  state for the whole stream.
+
+* **Encoding** -- :func:`encode_keys` factorises an arbitrary key
+  array into dense ``int64`` codes plus the distinct-key table.  Keyed
+  streams are heavily skewed (that is the paper's whole premise), so
+  hashing each *distinct* key once and gathering through the code
+  array turns per-message Python hashing into a per-unique-key cost:
+  :func:`hashed_choices` and :func:`hashed_buckets` exploit this for
+  string keys while integer keys keep their fully vectorised path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+#: Default routing-window size.  Large enough to amortise per-chunk
+#: bookkeeping (hash hoisting, metric updates, kernel calls), small
+#: enough that a chunk's hash matrix (chunk x d int64) stays cache- and
+#: memory-friendly.
+DEFAULT_CHUNK_SIZE = 65_536
+
+
+def iter_chunks(
+    num_messages: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` windows covering ``[0, num_messages)``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, int(num_messages), int(chunk_size)):
+        yield start, min(start + int(chunk_size), int(num_messages))
+
+
+@dataclass(frozen=True)
+class EncodedKeys:
+    """A key stream factorised to dense int64 codes.
+
+    ``codes[i]`` is the id of message i's key; ``unique`` is the
+    distinct-key table such that ``unique[codes[i]]`` is the original
+    key, or ``None`` when the stream was already integer-typed (then
+    the codes *are* the original keys, not renumbered -- hashes must
+    see the true key values).
+    """
+
+    codes: np.ndarray
+    unique: Optional[np.ndarray]
+
+    @property
+    def num_messages(self) -> int:
+        return int(self.codes.size)
+
+
+def as_key_array(keys) -> np.ndarray:
+    """Normalise any key sequence to a numpy array (no copy if possible)."""
+    arr = np.asarray(keys)
+    if arr.ndim != 1 and arr.size > 0:
+        raise ValueError(f"key stream must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def factorize(keys) -> Tuple[np.ndarray, np.ndarray]:
+    """``(codes, unique)`` such that ``unique[codes]`` reproduces ``keys``.
+
+    Unlike :func:`encode_keys` this always renumbers -- integer keys
+    included -- so ``codes`` densely index ``unique``.  Used by
+    routing-table schemes to turn per-message dict lookups into one
+    table fill per distinct key.
+    """
+    arr = as_key_array(keys)
+    unique, inverse = np.unique(arr, return_inverse=True)
+    return inverse.astype(np.int64, copy=False), unique
+
+
+def encode_keys(keys) -> EncodedKeys:
+    """Factorise ``keys`` into int64 codes (identity for integer keys)."""
+    arr = as_key_array(keys)
+    if np.issubdtype(arr.dtype, np.integer):
+        return EncodedKeys(codes=arr.astype(np.int64, copy=False), unique=None)
+    unique, inverse = np.unique(arr, return_inverse=True)
+    return EncodedKeys(codes=inverse.astype(np.int64, copy=False), unique=unique)
+
+
+def hashed_choices(family, keys, num_workers: int) -> np.ndarray:
+    """The ``(m, d)`` candidate-worker matrix of a key stream.
+
+    Integer keys use the family's vectorised path; other keys are
+    hashed once per distinct key and gathered back through the codes.
+    Candidate values are identical to calling ``family.choices`` per
+    message (duplicates preserved).
+    """
+    encoded = encode_keys(keys)
+    if encoded.unique is None:
+        return family.choice_matrix(encoded.codes, num_workers)
+    per_unique = np.empty((encoded.unique.size, len(family)), dtype=np.int64)
+    for u, key in enumerate(encoded.unique):
+        for j, f in enumerate(family.functions):
+            per_unique[u, j] = f(key) % num_workers
+    return per_unique[encoded.codes]
+
+
+def hashed_buckets(hash_function, keys, num_buckets: int) -> np.ndarray:
+    """Vectorised ``hash(key) % num_buckets`` for arbitrary key arrays."""
+    encoded = encode_keys(keys)
+    if encoded.unique is None:
+        return hash_function.bucket_array(encoded.codes, num_buckets)
+    per_unique = np.fromiter(
+        (hash_function(key) % num_buckets for key in encoded.unique),
+        dtype=np.int64,
+        count=encoded.unique.size,
+    )
+    return per_unique[encoded.codes]

@@ -1,0 +1,113 @@
+"""Streaming checkpoint/imbalance accumulation.
+
+The paper reports the imbalance time series ``I(t)`` sampled at evenly
+spaced checkpoints (Section II; Figures 2-4, Table II).  The batch
+implementation needed the full per-message assignment array;
+:class:`StreamingLoadSeries` accumulates the same statistics one chunk
+at a time, so the engine can route and discard windows while producing
+**bit-identical** positions and imbalance values: loads are integer
+bincounts accumulated in the same order, and the checkpoint grid is a
+pure function of the total message count.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def checkpoint_positions(num_messages: int, num_checkpoints: int = 100) -> np.ndarray:
+    """The checkpoint grid: message counts where ``I(t)`` is sampled.
+
+    ``num_checkpoints`` evenly spaced positions ending exactly at the
+    stream end, deduplicated for short streams.
+    """
+    m = int(num_messages)
+    if m == 0:
+        return np.array([], dtype=np.int64)
+    num_checkpoints = max(1, min(int(num_checkpoints), m))
+    positions = (
+        np.linspace(m / num_checkpoints, m, num_checkpoints).round().astype(np.int64)
+    )
+    return np.unique(positions)
+
+
+class StreamingLoadSeries:
+    """Accumulate worker loads and checkpoint imbalances chunk by chunk.
+
+    Parameters
+    ----------
+    num_messages:
+        Total stream length (fixes the checkpoint grid up front).
+    num_workers:
+        Worker count W; workers never hit still count toward the mean.
+    num_checkpoints:
+        Number of ``I(t)`` samples; the last lands on the stream end.
+
+    Feed every routed chunk, in arrival order, to :meth:`update`; then
+    :meth:`finish` returns ``(positions, imbalances)`` exactly as the
+    batch ``load_series`` did.
+    """
+
+    def __init__(
+        self, num_messages: int, num_workers: int, num_checkpoints: int = 100
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_messages = int(num_messages)
+        self.num_workers = int(num_workers)
+        self.positions = checkpoint_positions(num_messages, num_checkpoints)
+        self.loads = np.zeros(num_workers, dtype=np.int64)
+        self.imbalances = np.empty(self.positions.size, dtype=np.float64)
+        self._consumed = 0
+        self._next_checkpoint = 0
+
+    def update(self, workers_chunk: np.ndarray) -> None:
+        """Absorb the next chunk of per-message worker assignments."""
+        chunk = np.asarray(workers_chunk, dtype=np.int64)
+        start = self._consumed
+        stop = start + chunk.size
+        if stop > self.num_messages:
+            raise ValueError(
+                f"received {stop} assignments for a {self.num_messages}-message stream"
+            )
+        # Split the chunk at every checkpoint boundary it crosses so the
+        # bincount accumulation order matches the batch implementation.
+        prev = start
+        while (
+            self._next_checkpoint < self.positions.size
+            and self.positions[self._next_checkpoint] <= stop
+        ):
+            pos = int(self.positions[self._next_checkpoint])
+            self.loads += np.bincount(
+                chunk[prev - start : pos - start], minlength=self.num_workers
+            )
+            self.imbalances[self._next_checkpoint] = (
+                self.loads.max() - self.loads.mean()
+            )
+            prev = pos
+            self._next_checkpoint += 1
+        if prev < stop:
+            self.loads += np.bincount(
+                chunk[prev - start :], minlength=self.num_workers
+            )
+        self._consumed = stop
+
+    @property
+    def consumed(self) -> int:
+        """Messages absorbed so far."""
+        return self._consumed
+
+    def imbalance(self) -> float:
+        """Current ``I(t) = max(L) - avg(L)`` over the absorbed prefix."""
+        return float(self.loads.max() - self.loads.mean())
+
+    def finish(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(positions, imbalances)`` series; requires a full stream."""
+        if self._consumed != self.num_messages:
+            raise ValueError(
+                f"stream incomplete: consumed {self._consumed} of "
+                f"{self.num_messages} messages"
+            )
+        return self.positions, self.imbalances

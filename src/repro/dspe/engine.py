@@ -1,65 +1,18 @@
-"""Discrete-event simulation core.
+"""Discrete-event simulation clock (adapter over :mod:`repro.core`).
 
-A minimal, deterministic event loop: events are (time, sequence,
-callback) triples in a binary heap; ties in time break by scheduling
-order, so runs are exactly reproducible.
+This module owns no event loop of its own: the heap-driven replay core
+moved to :class:`repro.core.engine.EventLoop`, where it sits beside the
+chunked stream engine so every execution path lives in one place.  The
+:class:`Simulator` name is kept for the DSPE layer (executors, cluster,
+tests) and remains a deterministic (time, sequence, callback) loop --
+ties in time break by scheduling order, so runs are exactly
+reproducible.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional, Tuple
+from repro.core.engine import EventLoop
 
 
-class Simulator:
+class Simulator(EventLoop):
     """The event loop clock shared by all executors of a cluster."""
-
-    def __init__(self) -> None:
-        self.now = 0.0
-        self._seq = 0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
-        self._processed = 0
-
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` seconds from the current time."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_at(self.now + delay, callback)
-
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute simulation ``time``."""
-        if time < self.now:
-            raise ValueError(
-                f"cannot schedule into the past (time={time}, now={self.now})"
-            )
-        heapq.heappush(self._heap, (time, self._seq, callback))
-        self._seq += 1
-
-    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
-        """Process events up to ``end_time``; returns events processed.
-
-        Events scheduled exactly at ``end_time`` are processed.  The
-        clock is left at ``end_time`` (or at the last event if the heap
-        drains first).
-        """
-        processed = 0
-        heap = self._heap
-        while heap and heap[0][0] <= end_time:
-            time, _seq, callback = heapq.heappop(heap)
-            self.now = time
-            callback()
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
-        if self.now < end_time:
-            self.now = end_time
-        self._processed += processed
-        return processed
-
-    @property
-    def pending_events(self) -> int:
-        return len(self._heap)
-
-    @property
-    def total_events_processed(self) -> int:
-        return self._processed

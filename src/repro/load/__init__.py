@@ -14,7 +14,7 @@ provides:
   probing of true loads (shown by the paper to add nothing).
 """
 
-from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.base import LoadEstimator, WorkerLoadRegistry, vectorizable_loads
 from repro.load.oracle import GlobalOracleEstimator
 from repro.load.local import LocalLoadEstimator
 from repro.load.probing import ProbingLoadEstimator
@@ -22,6 +22,7 @@ from repro.load.probing import ProbingLoadEstimator
 __all__ = [
     "LoadEstimator",
     "WorkerLoadRegistry",
+    "vectorizable_loads",
     "GlobalOracleEstimator",
     "LocalLoadEstimator",
     "ProbingLoadEstimator",

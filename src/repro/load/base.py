@@ -34,6 +34,10 @@ class WorkerLoadRegistry:
         """Record ``amount`` messages delivered to ``worker``."""
         self.loads[worker] += amount
 
+    def add_chunk(self, counts: np.ndarray) -> None:
+        """Record a whole routed chunk: ``counts[w]`` messages to worker w."""
+        self.loads += np.asarray(counts, dtype=np.int64)
+
     def load(self, worker: int) -> int:
         return int(self.loads[worker])
 
@@ -67,7 +71,14 @@ class LoadEstimator(ABC):
 
     @abstractmethod
     def on_send(self, worker: int, now: float = 0.0) -> None:
-        """Account for one message sent by this source to ``worker``."""
+        """Account for one message sent by this source to ``worker``.
+
+        The chunked engine never calls this per message when it can
+        avoid it: estimators whose state is a plain count vector (see
+        :func:`vectorizable_loads`) are updated in place by the chunk
+        kernels, with the ground-truth registry bulk-updated once per
+        chunk via :meth:`WorkerLoadRegistry.add_chunk`.
+        """
 
     def select(self, candidates: Sequence[int], now: float = 0.0) -> int:
         """The least-loaded worker among ``candidates``.
@@ -87,3 +98,27 @@ class LoadEstimator(ABC):
 
     def reset(self) -> None:  # pragma: no cover - overridden where stateful
         """Forget accumulated state (default: nothing to forget)."""
+
+
+def vectorizable_loads(estimator):
+    """The mutable load vector behind ``estimator``, if chunk-safe.
+
+    Returns ``(loads, mirror_registry)`` when the estimator's selection
+    state is a plain int64 vector that a chunk kernel may read and
+    update in place -- exactly :class:`~repro.load.local.LocalLoadEstimator`
+    (vector = its private ``local``; ``mirror_registry`` is the
+    ground-truth registry to bulk-update per chunk, or None) and
+    :class:`~repro.load.oracle.GlobalOracleEstimator` (vector = the
+    shared registry's loads, already ground truth).  Anything else --
+    probing estimators whose view depends on ``now``, custom
+    estimators -- returns ``(None, None)`` and must be driven through
+    the per-message interface.
+    """
+    from repro.load.local import LocalLoadEstimator
+    from repro.load.oracle import GlobalOracleEstimator
+
+    if type(estimator) is LocalLoadEstimator:
+        return estimator.local, estimator.registry
+    if type(estimator) is GlobalOracleEstimator:
+        return estimator.registry.loads, None
+    return None, None

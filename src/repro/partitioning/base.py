@@ -6,10 +6,18 @@ possibly as a function of time (of everything routed so far).  One
 partitioner instance embodies the routing state of one *source PEI* for
 one edge of the DAG; sources sharing an edge use separate instances
 built from the same hash family.
+
+Routing has two granularities: :meth:`Partitioner.route` decides one
+message (the DSPE event loop's per-tuple path) and
+:meth:`Partitioner.route_chunk` decides a whole key window at once (the
+chunked replay engine's path, see :mod:`repro.core.engine`).  The two
+are decision-identical by contract; chunk implementations hoist hashing
+out of the loop and vectorise whatever their state permits.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence, Tuple
 
@@ -45,25 +53,53 @@ class Partitioner(ABC):
         """
         return tuple(range(self.num_workers))
 
+    def route_chunk(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Route one key chunk; returns int64 worker ids.
+
+        Must produce exactly the assignments a per-message
+        :meth:`route` replay would (the chunk equivalence contract,
+        enforced for every registered scheme by the test suite).  The
+        generic fallback loops over :meth:`route`, honouring
+        ``timestamps`` entry-by-entry when given; subclasses override
+        with vectorised versions (stateless schemes) or precomputed-
+        hash chunk loops (stateful schemes).
+        """
+        keys = np.asarray(keys)
+        m = int(keys.size)
+        out = np.empty(m, dtype=np.int64)
+        if timestamps is None:
+            for i in range(m):
+                out[i] = self.route(keys[i])
+        else:
+            if len(timestamps) != m:
+                raise ValueError(
+                    f"timestamps has {len(timestamps)} entries for {m} keys"
+                )
+            for i in range(m):
+                out[i] = self.route(keys[i], float(timestamps[i]))
+        return out
+
     def route_stream(
         self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
-        """Route a whole key sequence; returns int64 worker ids.
+        """Deprecated alias of :meth:`route_chunk`.
 
-        The generic implementation loops over :meth:`route`; subclasses
-        override with vectorized versions where the routing function
-        permits (stateless schemes), or with loops over precomputed
-        hash matrices (PKG).
+        Kept as a shim (mirroring the ``repro.dspe.topology.SCHEMES``
+        deprecation): whole-stream routing now lives in
+        :meth:`route_chunk` / :func:`repro.core.engine.route_chunked`,
+        which also fixes the old generic fallback's inconsistent
+        ``timestamps`` handling.
         """
-        if timestamps is None:
-            return np.fromiter(
-                (self.route(k) for k in keys), dtype=np.int64, count=len(keys)
-            )
-        return np.fromiter(
-            (self.route(k, t) for k, t in zip(keys, timestamps)),
-            dtype=np.int64,
-            count=len(keys),
+        warnings.warn(
+            "Partitioner.route_stream is deprecated; use route_chunk "
+            "(or repro.core.engine.route_chunked for chunked whole-stream "
+            "routing)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.route_chunk(keys, timestamps)
 
     def reset(self) -> None:
         """Clear any accumulated routing state."""

@@ -19,13 +19,30 @@ This module implements:
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.api.registry import register
+from repro.core.chunks import factorize
+from repro.core.engine import greedy_route_chunk
 from repro.hashing import HashFunction
-from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.base import LoadEstimator, WorkerLoadRegistry, vectorizable_loads
 from repro.load.local import LocalLoadEstimator
 from repro.partitioning.base import Partitioner
+
+
+def _successor_matrix(ring: HashRing, unique_keys: np.ndarray, count: int) -> np.ndarray:
+    """Ring successors of each distinct key, as a ``(u, count')`` matrix.
+
+    ``count'`` may be smaller than ``count`` when the ring has fewer
+    members (``HashRing.successors`` truncates identically per key).
+    """
+    width = min(count, len(ring.workers))
+    out = np.empty((unique_keys.size, width), dtype=np.int64)
+    for u, key in enumerate(unique_keys.tolist()):
+        out[u] = ring.successors(key, width)
+    return out
 
 
 class HashRing:
@@ -132,6 +149,13 @@ class ConsistentKeyGrouping(Partitioner):
     def route(self, key, now: float = 0.0) -> int:
         return self.ring.successors(key, 1)[0]
 
+    def route_chunk(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        # Stateless: one ring lookup per distinct key, gathered back.
+        codes, unique = factorize(keys)
+        return _successor_matrix(self.ring, unique, 1)[:, 0][codes]
+
     def candidates(self, key) -> Tuple[int, ...]:
         return self.ring.successors(key, 1)
 
@@ -178,6 +202,21 @@ class ConsistentPartialKeyGrouping(Partitioner):
         worker = self.estimator.select(self.candidates(key), now)
         self.estimator.on_send(worker, now)
         return worker
+
+    def route_chunk(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        loads, mirror = vectorizable_loads(self.estimator)
+        if loads is None:
+            return super().route_chunk(keys, timestamps)
+        # Ring successors once per distinct key, then the Greedy-d
+        # chunk kernel over the gathered candidate matrix.
+        codes, unique = factorize(keys)
+        choices = _successor_matrix(self.ring, unique, self.num_choices)[codes]
+        out = greedy_route_chunk(choices, loads)
+        if mirror is not None:
+            mirror.add_chunk(np.bincount(out, minlength=self.num_workers))
+        return out
 
     def add_worker(self, worker: int) -> None:
         """Elastically grow the worker set (new arcs only)."""

@@ -15,7 +15,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.api.registry import register
-from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.core.engine import least_loaded_chunk
+from repro.load.base import LoadEstimator, WorkerLoadRegistry, vectorizable_loads
 from repro.load.local import LocalLoadEstimator
 from repro.partitioning.base import Partitioner
 
@@ -45,9 +46,15 @@ class LeastLoaded(Partitioner):
         self.estimator.on_send(worker, now)
         return worker
 
-    def route_stream(
+    def route_chunk(
         self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
+        loads, mirror = vectorizable_loads(self.estimator)
+        if loads is not None:
+            out = least_loaded_chunk(len(keys), loads)
+            if mirror is not None:
+                mirror.add_chunk(np.bincount(out, minlength=self.num_workers))
+            return out
         out = np.empty(len(keys), dtype=np.int64)
         times = timestamps if timestamps is not None else np.zeros(len(keys))
         for i in range(len(keys)):

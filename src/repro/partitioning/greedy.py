@@ -19,9 +19,45 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.api.registry import register
-from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.core.chunks import factorize
+from repro.core.engine import bind_route_chunk
+from repro.load.base import LoadEstimator, WorkerLoadRegistry, vectorizable_loads
 from repro.load.oracle import GlobalOracleEstimator
 from repro.partitioning.base import Partitioner
+
+
+def _bind_chunk_with_table(partitioner, keys, choices_for=None) -> Optional[np.ndarray]:
+    """Shared chunk path of the first-sight-binding schemes.
+
+    Factorises the chunk, fills a dense code->worker table from the
+    scheme's routing dict (-1 = unbound), runs the binding kernel
+    against the estimator's load vector, and writes fresh bindings
+    back into the dict.  Returns None when the estimator is not
+    vectorizable (caller falls back to the per-message loop).
+    ``choices_for(unique_keys) -> (u, d)`` supplies per-key candidate
+    rows; None means "all workers are candidates".
+    """
+    loads, mirror = vectorizable_loads(partitioner.estimator)
+    if loads is None:
+        return None
+    codes, unique = factorize(keys)
+    key_list = unique.tolist()
+    table = np.empty(len(key_list), dtype=np.int64)
+    lookup = partitioner.routing_table.get
+    for u, key in enumerate(key_list):
+        worker = lookup(key)
+        table[u] = -1 if worker is None else worker
+    unbound = table < 0
+    choices = None
+    if choices_for is not None:
+        per_unique = choices_for(unique)
+        choices = per_unique[codes]
+    out = bind_route_chunk(codes, choices, partitioner.num_workers, table, loads)
+    if mirror is not None:
+        mirror.add_chunk(np.bincount(out, minlength=partitioner.num_workers))
+    for u in np.flatnonzero(unbound).tolist():
+        partitioner.routing_table[key_list[u]] = int(table[u])
+    return out
 
 
 @register(
@@ -61,6 +97,16 @@ class OnlineGreedy(Partitioner):
         self.estimator.on_send(worker, now)
         return worker
 
+    def route_chunk(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        # New keys bind to the least-loaded of *all* workers, so the
+        # binding kernel runs with an open candidate set.
+        out = _bind_chunk_with_table(self, keys)
+        if out is None:
+            return super().route_chunk(keys, timestamps)
+        return out
+
     def memory_entries(self) -> int:
         return len(self.routing_table)
 
@@ -92,10 +138,13 @@ class OfflineGreedy(Partitioner):
         self.routing_table: Dict = {}
         self._planned_load = np.zeros(num_workers, dtype=np.float64)
         self._fitted = False
+        #: (table_len, sorted_keys, workers) chunk-lookup cache
+        self._sorted_lookup = None
 
     def fit(self, frequencies: Mapping) -> "OfflineGreedy":
         """Plan the assignment from a ``{key: frequency}`` mapping."""
         self.routing_table.clear()
+        self._sorted_lookup = None
         self._planned_load[:] = 0.0
         for key, freq in sorted(
             frequencies.items(), key=lambda kv: (-kv[1], repr(kv[0]))
@@ -132,25 +181,46 @@ class OfflineGreedy(Partitioner):
             self._planned_load[worker] += 1.0
         return worker
 
-    def route_stream(
+    def route_chunk(
         self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         keys_arr = np.asarray(keys)
-        if self._fitted and np.issubdtype(keys_arr.dtype, np.integer):
-            max_key = int(keys_arr.max(initial=-1))
-            table = np.full(max_key + 2, -1, dtype=np.int64)
-            for k, w in self.routing_table.items():
-                if isinstance(k, (int, np.integer)) and 0 <= int(k) <= max_key:
-                    table[int(k)] = w
-            routed = table[keys_arr]
-            if np.all(routed >= 0):
-                return routed
-        return super().route_stream(keys, timestamps)
+        if self._fitted and keys_arr.size:
+            # Pure sorted-table lookup when every key was planned during
+            # fit; any unseen key falls back to the sequential
+            # first-sight loop, whose bindings depend on arrival order.
+            if (
+                self._sorted_lookup is None
+                or self._sorted_lookup[0] != len(self.routing_table)
+            ):
+                try:
+                    table_keys = np.array(list(self.routing_table))
+                    order = np.argsort(table_keys, kind="stable")
+                    workers = np.fromiter(
+                        self.routing_table.values(),
+                        dtype=np.int64,
+                        count=len(self.routing_table),
+                    )
+                    self._sorted_lookup = (
+                        len(self.routing_table),
+                        table_keys[order],
+                        workers[order],
+                    )
+                except (TypeError, ValueError):  # unsortable/mixed key types
+                    self._sorted_lookup = (len(self.routing_table), None, None)
+            _, sorted_keys, sorted_workers = self._sorted_lookup
+            if sorted_keys is not None and sorted_keys.dtype.kind == keys_arr.dtype.kind:
+                idx = np.searchsorted(sorted_keys, keys_arr)
+                idx_clipped = np.minimum(idx, sorted_keys.size - 1)
+                if np.array_equal(sorted_keys[idx_clipped], keys_arr):
+                    return sorted_workers[idx_clipped]
+        return super().route_chunk(keys, timestamps)
 
     def memory_entries(self) -> int:
         return len(self.routing_table)
 
     def reset(self) -> None:
         self.routing_table.clear()
+        self._sorted_lookup = None
         self._planned_load[:] = 0.0
         self._fitted = False

@@ -13,6 +13,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.api.registry import register
+from repro.core.chunks import hashed_buckets
 from repro.hashing import HashFamily, HashFunction
 from repro.partitioning.base import Partitioner
 
@@ -47,10 +48,9 @@ class KeyGrouping(Partitioner):
     def candidates(self, key) -> Tuple[int, ...]:
         return (self.route(key),)
 
-    def route_stream(
+    def route_chunk(
         self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
-        keys = np.asarray(keys)
-        if np.issubdtype(keys.dtype, np.integer):
-            return self._hash.bucket_array(keys, self.num_workers)
-        return super().route_stream(keys, timestamps)
+        # Stateless: fully vectorised (integer keys), or hashed once per
+        # distinct key and gathered (everything else).
+        return hashed_buckets(self._hash, keys, self.num_workers)

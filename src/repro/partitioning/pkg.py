@@ -24,8 +24,10 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.api.registry import register
+from repro.core.chunks import hashed_choices
+from repro.core.engine import greedy_route_chunk
 from repro.hashing import HashFamily
-from repro.load.base import LoadEstimator, WorkerLoadRegistry
+from repro.load.base import LoadEstimator, WorkerLoadRegistry, vectorizable_loads
 from repro.load.local import LocalLoadEstimator
 from repro.partitioning.base import Partitioner
 
@@ -87,53 +89,34 @@ class PartialKeyGrouping(Partitioner):
         self.estimator.on_send(worker, now)
         return worker
 
-    def route_stream(
+    def route_chunk(
         self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
-        """Route a key sequence with hashing hoisted out of the loop.
+        """Route one chunk with hashing hoisted out of the loop.
 
-        For integer key arrays the d hash columns are computed
-        vectorized up front; the remaining sequential pass only does
-        estimate lookups, which is what makes million-message
-        simulations practical in pure Python.
+        The d hash columns are precomputed for the whole chunk (fully
+        vectorised for integer keys, once per *distinct* key
+        otherwise); the remaining per-key work is an argmin over the d
+        candidate loads, run by the Greedy-d chunk kernel when the
+        estimator's state is a plain load vector.  Count-based
+        estimators ignore ``now``, so the kernel path applies with or
+        without timestamps; time-aware estimators (probing) take the
+        per-message loop.
         """
-        keys_arr = np.asarray(keys)
-        if not np.issubdtype(keys_arr.dtype, np.integer):
-            return super().route_stream(keys, timestamps)
-
-        choice_cols = [
-            col.tolist()
-            for col in self.family.choice_matrix(keys_arr, self.num_workers).T
-        ]
-        estimator = self.estimator
-        out = np.empty(len(keys_arr), dtype=np.int64)
-
-        if timestamps is None and type(estimator) is LocalLoadEstimator:
-            # Fully inlined fast path for the common case.
-            local = estimator.local
-            registry = estimator.registry
-            reg_loads = registry.loads if registry is not None else None
-            if self.num_choices == 2:
-                col1, col2 = choice_cols
-                for i in range(len(keys_arr)):
-                    a, b = col1[i], col2[i]
-                    w = a if local[a] <= local[b] else b
-                    local[w] += 1
-                    if reg_loads is not None:
-                        reg_loads[w] += 1
-                    out[i] = w
-            else:
-                for i in range(len(keys_arr)):
-                    cands = [col[i] for col in choice_cols]
-                    w = min(cands, key=local.__getitem__)
-                    local[w] += 1
-                    if reg_loads is not None:
-                        reg_loads[w] += 1
-                    out[i] = w
+        choices = hashed_choices(self.family, keys, self.num_workers)
+        loads, mirror = vectorizable_loads(self.estimator)
+        if loads is not None:
+            out = greedy_route_chunk(choices, loads)
+            if mirror is not None:
+                mirror.add_chunk(np.bincount(out, minlength=self.num_workers))
             return out
 
-        times = timestamps if timestamps is not None else np.zeros(len(keys_arr))
-        for i in range(len(keys_arr)):
+        estimator = self.estimator
+        m = choices.shape[0]
+        out = np.empty(m, dtype=np.int64)
+        choice_cols = [col.tolist() for col in choices.T]
+        times = timestamps if timestamps is not None else np.zeros(m)
+        for i in range(m):
             cands = tuple(col[i] for col in choice_cols)
             t = float(times[i])
             w = estimator.select(cands, t)

@@ -11,13 +11,17 @@ cannot adapt once the key's frequency is revealed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.api.registry import register
+from repro.core.chunks import hashed_choices
 from repro.hashing import HashFamily
 from repro.load.base import LoadEstimator, WorkerLoadRegistry
 from repro.load.oracle import GlobalOracleEstimator
 from repro.partitioning.base import Partitioner
+from repro.partitioning.greedy import _bind_chunk_with_table
 
 
 @register(
@@ -70,6 +74,20 @@ class StaticPoTC(Partitioner):
             self.routing_table[key] = worker
         self.estimator.on_send(worker, now)
         return worker
+
+    def route_chunk(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        out = _bind_chunk_with_table(
+            self,
+            keys,
+            choices_for=lambda unique: hashed_choices(
+                self.family, unique, self.num_workers
+            ),
+        )
+        if out is None:
+            return super().route_chunk(keys, timestamps)
+        return out
 
     def memory_entries(self) -> int:
         return len(self.routing_table)

@@ -12,11 +12,12 @@ migration traffic paid.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.registry import register
+from repro.core.chunks import as_key_array, hashed_buckets
 from repro.hashing import HashFamily, HashFunction
 from repro.partitioning.base import Partitioner
 
@@ -98,6 +99,40 @@ class RebalancingKeyGrouping(Partitioner):
     def candidates(self, key) -> Tuple[int, ...]:
         worker = self.overrides.get(key)
         return (worker if worker is not None else self._home(key),)
+
+    def route_chunk(
+        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """Chunk loop with home hashing hoisted out.
+
+        Loads are mirrored in a plain list between rebalance checks and
+        synced back to the numpy vector whenever ``_maybe_rebalance``
+        runs (it reads *and* migrates ``self.loads``), so decisions and
+        migration rounds match the per-message path exactly.
+        """
+        arr = as_key_array(keys)
+        homes = hashed_buckets(self._hash, arr, self.num_workers).tolist()
+        key_list = arr.tolist()
+        out = np.empty(len(key_list), dtype=np.int64)
+        overrides, key_counts = self.overrides, self.key_counts
+        load_list = self.loads.tolist()
+        since, interval = self._since_check, self.check_interval
+        for i, key in enumerate(key_list):
+            worker = overrides.get(key)
+            if worker is None:
+                worker = homes[i]
+            load_list[worker] += 1
+            key_counts[key] = key_counts.get(key, 0) + 1
+            since += 1
+            if since >= interval:
+                since = 0
+                self.loads[:] = load_list
+                self._maybe_rebalance()
+                load_list = self.loads.tolist()
+            out[i] = worker
+        self.loads[:] = load_list
+        self._since_check = since
+        return out
 
     def _maybe_rebalance(self) -> None:
         avg = self.loads.mean()

@@ -39,7 +39,7 @@ class ShuffleGrouping(Partitioner):
         self._next = (worker + 1) % self.num_workers
         return worker
 
-    def route_stream(
+    def route_chunk(
         self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         m = len(keys)

@@ -147,11 +147,14 @@ def bench_partitioners(
 ) -> List[Dict]:
     """Route one fixed stream through every scheme and time it.
 
-    Returns bench result entries (``name``, ``keys_per_second``,
-    ``duration_seconds``, ``num_messages``) suitable for
-    :func:`write_bench_snapshot`.
+    Streams are routed through the chunked execution core
+    (:func:`repro.core.engine.route_chunked`), i.e. the same path the
+    simulations replay on.  Returns bench result entries (``name``,
+    ``keys_per_second``, ``duration_seconds``, ``num_messages``)
+    suitable for :func:`write_bench_snapshot`.
     """
     from repro.api import available_schemes, make_partitioner
+    from repro.core.engine import route_chunked
     from repro.streams.datasets import get_dataset
 
     keys = get_dataset(dataset).stream(num_messages, seed=seed)
@@ -159,7 +162,7 @@ def bench_partitioners(
     for scheme in schemes if schemes is not None else available_schemes():
         partitioner = make_partitioner(scheme, num_workers, seed=seed)
         start = time.perf_counter()
-        partitioner.route_stream(keys)
+        route_chunked(keys, partitioner)
         duration = time.perf_counter() - start
         results.append(
             {

@@ -2,7 +2,11 @@
 
 ``python -m repro.reports diff OLD NEW`` loads both artifact sets
 (directories of ``*.json`` or single files), matches metrics by name,
-and classifies each pair using the metric's declared direction:
+and classifies each pair using the metric's declared direction.
+``BENCH_*.json`` snapshots are accepted too: each scheme's
+``keys_per_second`` becomes a higher-is-better metric, which is how the
+CI ``bench-smoke`` job gates routing-throughput regressions against the
+committed snapshot.  Classification:
 
 * ``regressed`` -- the value moved in the *worse* direction by more
   than the relative tolerance (and more than the absolute floor, so
@@ -16,19 +20,28 @@ The CLI exits non-zero iff any metric regressed.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping
 
 from repro.reports.schema import (
+    BENCH_KIND,
     ExperimentArtifact,
     Metric,
+    RunManifest,
     SchemaError,
     load_artifact,
     load_artifacts,
 )
 
-__all__ = ["MetricChange", "DiffReport", "diff_artifacts", "load_artifact_set"]
+__all__ = [
+    "MetricChange",
+    "DiffReport",
+    "diff_artifacts",
+    "load_artifact_set",
+    "bench_snapshot_artifact",
+]
 
 #: Ignore absolute movements below this: imbalance fractions of 1e-7 vs
 #: 2e-7 are both "perfectly balanced", not a 2x regression.
@@ -154,12 +167,57 @@ def diff_artifacts(
     return DiffReport(changes=changes, tolerance=tolerance)
 
 
+def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
+    """View a ``BENCH_*.json`` snapshot as a diffable artifact.
+
+    Every result entry's ``keys_per_second`` becomes one
+    higher-is-better metric named ``<scheme>.keys_per_second``, so the
+    standard diff gate (tolerance, direction, exit code) applies to
+    throughput trajectories unchanged.
+    """
+    manifest = data.get("manifest", {}) or {}
+    metrics = []
+    for entry in data.get("results", []):
+        if not isinstance(entry, dict) or not entry.get("name"):
+            continue
+        if "keys_per_second" not in entry:
+            continue
+        metrics.append(
+            Metric(
+                name=f"{entry['name']}.keys_per_second",
+                value=float(entry["keys_per_second"]),
+                direction="higher",
+            )
+        )
+    return ExperimentArtifact(
+        experiment=f"bench-{data.get('suite', 'unknown')}",
+        paper_section="",
+        manifest=RunManifest(
+            seed=0,
+            scale=1.0,
+            git_sha=str(manifest.get("git_sha", "unknown")) or "unknown",
+            created_utc=str(manifest.get("created_utc", "unknown")) or "unknown",
+        ),
+        records=[e for e in data.get("results", []) if isinstance(e, dict)],
+        metrics=metrics,
+    )
+
+
 def load_artifact_set(path) -> Dict[str, ExperimentArtifact]:
-    """Load an artifact set from a directory or a single artifact file."""
+    """Load an artifact set: a directory, artifact file, or bench snapshot."""
     path = Path(path)
     if path.is_dir():
         return load_artifacts(path)
     if not path.exists():
         raise SchemaError(f"artifact path {path} does not exist")
+    try:
+        kind = json.loads(path.read_text()).get("kind")
+    except (ValueError, AttributeError):
+        kind = None
+    if kind == BENCH_KIND:
+        from repro.reports.bench import load_bench_snapshot
+
+        artifact = bench_snapshot_artifact(load_bench_snapshot(path))
+        return {artifact.experiment: artifact}
     artifact = load_artifact(path)
     return {artifact.experiment: artifact}

@@ -52,25 +52,18 @@ def load_series(
         ``positions[j]`` is the message count at checkpoint j,
         ``imbalances[j]`` the imbalance there.
     """
+    from repro.core.metrics import StreamingLoadSeries
+
     workers = np.asarray(workers, dtype=np.int64)
-    m = workers.size
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-    if m == 0:
+    if workers.size == 0:
         return np.array([], dtype=np.int64), np.array([])
-    num_checkpoints = max(1, min(num_checkpoints, m))
-    positions = np.linspace(m / num_checkpoints, m, num_checkpoints).round().astype(np.int64)
-    positions = np.unique(positions)
-
-    loads = np.zeros(num_workers, dtype=np.int64)
-    imbalances = np.empty(positions.size, dtype=np.float64)
-    prev = 0
-    for j, pos in enumerate(positions):
-        segment = workers[prev:pos]
-        loads += np.bincount(segment, minlength=num_workers)
-        imbalances[j] = loads.max() - loads.mean()
-        prev = pos
-    return positions, imbalances
+    # One-shot wrapper over the streaming accumulator the chunked
+    # engine uses, so batch and chunked replays share one definition.
+    series = StreamingLoadSeries(workers.size, num_workers, num_checkpoints)
+    series.update(workers)
+    return series.finish()
 
 
 def average_imbalance(

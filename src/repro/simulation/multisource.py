@@ -1,15 +1,18 @@
-"""Multi-source simulation: the paper's distributed setting.
+"""Multi-source simulation: the paper's distributed setting (adapter).
 
 The stream is split among S independent source PEIs (via shuffle
 grouping, or via key grouping on a *source key* for the Q3 robustness
 experiments).  Each source routes its sub-stream with its own
-partitioner state; the harness interleaves all decisions in arrival
-order and measures the **true** worker loads, which is what makes the
+partitioner state; decisions interleave in arrival order and the
+harness measures the **true** worker loads, which is what makes the
 comparison between local estimation and the global oracle meaningful.
 
-The inner loop is deliberately written over plain Python lists with the
-hashing hoisted out and vectorized: this is what makes million-message
-multi-source sweeps tractable in pure Python.
+This module owns no replay loop of its own: the interleaved hot loop
+lives in :class:`repro.core.engine.InterleavedRouter` (C kernel when a
+compiler is available, decision-identical pure Python otherwise) and
+the per-source generic runner in
+:func:`repro.core.engine.replay_per_source`.  Only the source-splitting
+policies and the :class:`SimulationResult` assembly remain here.
 """
 
 from __future__ import annotations
@@ -18,13 +21,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.chunks import DEFAULT_CHUNK_SIZE, hashed_choices
+from repro.core.engine import (
+    InterleavedRouter,
+    replay_interleaved,
+    replay_per_source,
+)
 from repro.hashing import HashFamily, HashFunction
-from repro.partitioning.base import Partitioner
-from repro.simulation.metrics import load_series
 from repro.simulation.runner import SimulationResult
 
 #: estimator modes of :func:`simulate_multisource_pkg`
-MODES = ("local", "global", "probing")
+MODES = InterleavedRouter.MODES
 
 
 def assign_sources(
@@ -71,6 +78,7 @@ def simulate_multisource_pkg(
     seed: int = 0,
     keep_assignments: bool = False,
     scheme_name: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SimulationResult:
     """PKG with S sources under a chosen load-estimation mode.
 
@@ -100,32 +108,26 @@ def simulate_multisource_pkg(
         source_ids = np.asarray(source_ids, dtype=np.int64)
         if source_ids.size != m:
             raise ValueError("source_ids must have one entry per message")
-        if m and int(source_ids.max()) >= num_sources:
-            raise ValueError("source_ids references a source >= num_sources")
+        if m and (
+            int(source_ids.min()) < 0 or int(source_ids.max()) >= num_sources
+        ):
+            raise ValueError("source_ids references a source outside [0, S)")
 
     family = HashFamily(size=num_choices, seed=seed)
-    if np.issubdtype(keys.dtype, np.integer):
-        choice_matrix = family.choice_matrix(keys, num_workers)
-    else:
-        choice_matrix = np.stack(
-            [
-                np.fromiter((f(k) % num_workers for k in keys), np.int64, count=m)
-                for f in family
-            ],
-            axis=1,
-        )
+    choice_matrix = hashed_choices(family, keys, num_workers)
 
-    workers = _route_interleaved(
+    replay = replay_interleaved(
         choice_matrix,
         source_ids,
         num_sources,
         num_workers,
-        mode,
-        probe_period,
-        timestamps,
+        mode=mode,
+        probe_period=probe_period,
+        timestamps=timestamps,
+        num_checkpoints=num_checkpoints,
+        chunk_size=chunk_size,
+        keep_assignments=keep_assignments,
     )
-
-    positions, series = load_series(workers, num_workers, num_checkpoints)
     if scheme_name is None:
         scheme_name = {
             "local": f"L{num_sources}",
@@ -137,81 +139,11 @@ def simulate_multisource_pkg(
         num_workers=num_workers,
         num_sources=num_sources,
         num_messages=m,
-        final_loads=np.bincount(workers, minlength=num_workers),
-        checkpoint_positions=positions,
-        imbalance_series=series,
-        assignments=workers if keep_assignments else None,
+        final_loads=replay.final_loads,
+        checkpoint_positions=replay.checkpoint_positions,
+        imbalance_series=replay.imbalance_series,
+        assignments=replay.assignments,
     )
-
-
-def _route_interleaved(
-    choice_matrix: np.ndarray,
-    source_ids: np.ndarray,
-    num_sources: int,
-    num_workers: int,
-    mode: str,
-    probe_period: float,
-    timestamps: Optional[np.ndarray],
-) -> np.ndarray:
-    """Sequential routing loop over plain lists (the hot path)."""
-    m, d = choice_matrix.shape
-    out = np.empty(m, dtype=np.int64)
-    out_list = out  # numpy assignment by index is fine here
-    true_loads = [0] * num_workers
-    src = source_ids.tolist()
-
-    if mode == "global":
-        views = [true_loads] * num_sources
-    else:
-        views = [[0] * num_workers for _ in range(num_sources)]
-
-    if mode == "probing":
-        if timestamps is None:
-            timestamps = np.arange(m, dtype=np.float64)
-        times = timestamps.tolist()
-        next_probe = [probe_period] * num_sources
-    else:
-        times = None
-        next_probe = None
-
-    if d == 2:
-        col1 = choice_matrix[:, 0].tolist()
-        col2 = choice_matrix[:, 1].tolist()
-        for i in range(m):
-            s = src[i]
-            view = views[s]
-            if next_probe is not None and times[i] >= next_probe[s]:
-                view = views[s] = true_loads.copy()
-                period = probe_period
-                while next_probe[s] <= times[i]:
-                    next_probe[s] += period
-            a, b = col1[i], col2[i]
-            w = a if view[a] <= view[b] else b
-            view[w] += 1
-            if view is not true_loads:
-                true_loads[w] += 1
-            out_list[i] = w
-        return out
-
-    cols = [choice_matrix[:, j].tolist() for j in range(d)]
-    for i in range(m):
-        s = src[i]
-        view = views[s]
-        if next_probe is not None and times[i] >= next_probe[s]:
-            view = views[s] = true_loads.copy()
-            while next_probe[s] <= times[i]:
-                next_probe[s] += probe_period
-        best = cols[0][i]
-        best_load = view[best]
-        for j in range(1, d):
-            c = cols[j][i]
-            if view[c] < best_load:
-                best, best_load = c, view[c]
-        view[best] += 1
-        if view is not true_loads:
-            true_loads[best] += 1
-        out_list[i] = best
-    return out
 
 
 def simulate_partitioner_per_source(
@@ -223,39 +155,39 @@ def simulate_partitioner_per_source(
     timestamps: Optional[np.ndarray] = None,
     num_checkpoints: int = 100,
     keep_assignments: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SimulationResult:
     """Generic multi-source runner for arbitrary partitioner objects.
 
     ``make_partitioner(source_index)`` builds one instance per source.
     Sources whose state is purely local (KG, SG, PKG-local) are routed
-    sub-stream-at-a-time with their fast paths, then merged back into
-    arrival order -- decision-equivalent to interleaving because no
+    sub-stream-at-a-time with their chunked fast paths, then merged back
+    into arrival order -- decision-equivalent to interleaving because no
     shared state exists between sources.
     """
     keys = np.asarray(keys)
     m = int(keys.size)
     if source_ids is None:
         source_ids = assign_sources(m, num_sources)
-    else:
-        source_ids = np.asarray(source_ids, dtype=np.int64)
 
-    workers = np.empty(m, dtype=np.int64)
-    scheme = None
-    for s in range(num_sources):
-        mask = source_ids == s
-        partitioner: Partitioner = make_partitioner(s)
-        scheme = scheme or partitioner.name
-        sub_times = timestamps[mask] if timestamps is not None else None
-        workers[mask] = partitioner.route_stream(keys[mask], sub_times)
-
-    positions, series = load_series(workers, num_workers, num_checkpoints)
+    replay, partitioners = replay_per_source(
+        keys,
+        make_partitioner,
+        num_workers,
+        num_sources=num_sources,
+        source_ids=source_ids,
+        timestamps=timestamps,
+        num_checkpoints=num_checkpoints,
+        chunk_size=chunk_size,
+        keep_assignments=keep_assignments,
+    )
     return SimulationResult(
-        scheme=scheme or "?",
+        scheme=partitioners[0].name if partitioners else "?",
         num_workers=num_workers,
         num_sources=num_sources,
         num_messages=m,
-        final_loads=np.bincount(workers, minlength=num_workers),
-        checkpoint_positions=positions,
-        imbalance_series=series,
-        assignments=workers if keep_assignments else None,
+        final_loads=replay.final_loads,
+        checkpoint_positions=replay.checkpoint_positions,
+        imbalance_series=replay.imbalance_series,
+        assignments=replay.assignments,
     )

@@ -1,9 +1,15 @@
-"""Single-source simulation runner.
+"""Single-source simulation runner (adapter over :mod:`repro.core`).
 
 Replays a key stream through one partitioner instance and collects the
 load-balance metrics the paper reports: final loads, the imbalance time
 series I(t), its average over the run (Table II), and the normalised
 "fraction of imbalance" (Figures 2-4).
+
+This module owns no replay loop of its own: the replay runs in
+:func:`repro.core.engine.replay_stream`, the single chunked engine
+shared with the multi-source and DSPE paths; only the
+:class:`SimulationResult` shape and the scheme-spec conveniences live
+here.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.chunks import DEFAULT_CHUNK_SIZE
+from repro.core.engine import replay_stream
 from repro.partitioning.base import Partitioner
-from repro.simulation.metrics import load_series
 
 
 @dataclass
@@ -79,6 +86,7 @@ def simulate_stream(
     keep_assignments: bool = False,
     num_workers: Optional[int] = None,
     seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SimulationResult:
     """Route a key stream through ``partitioner`` and measure balance.
 
@@ -88,7 +96,8 @@ def simulate_stream(
     ``seed``.
 
     This is the single-source path (S = 1); for the multi-source
-    experiments use :mod:`repro.simulation.multisource`.
+    experiments use :mod:`repro.simulation.multisource`.  Both delegate
+    to the chunked engine in :mod:`repro.core.engine`.
     """
     if isinstance(partitioner, str):
         from repro.api.registry import make_partitioner
@@ -98,19 +107,21 @@ def simulate_stream(
                 "num_workers is required when partitioner is a scheme name"
             )
         partitioner = make_partitioner(partitioner, num_workers, seed=seed)
-    keys = np.asarray(keys)
-    workers = partitioner.route_stream(keys, timestamps)
-    positions, series = load_series(
-        workers, partitioner.num_workers, num_checkpoints
+    replay = replay_stream(
+        keys,
+        partitioner,
+        timestamps=timestamps,
+        num_checkpoints=num_checkpoints,
+        chunk_size=chunk_size,
+        keep_assignments=keep_assignments,
     )
-    final_loads = np.bincount(workers, minlength=partitioner.num_workers)
     return SimulationResult(
         scheme=partitioner.name,
         num_workers=partitioner.num_workers,
         num_sources=1,
-        num_messages=int(keys.size),
-        final_loads=final_loads,
-        checkpoint_positions=positions,
-        imbalance_series=series,
-        assignments=workers if keep_assignments else None,
+        num_messages=replay.num_messages,
+        final_loads=replay.final_loads,
+        checkpoint_positions=replay.checkpoint_positions,
+        imbalance_series=replay.imbalance_series,
+        assignments=replay.assignments,
     )

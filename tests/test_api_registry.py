@@ -27,7 +27,7 @@ class TestRoundTrip:
             p = make_partitioner(name, 8, seed=3)
             assert isinstance(p, Partitioner), name
             assert p.num_workers == 8, name
-            routed = p.route_stream(KEYS)
+            routed = p.route_chunk(KEYS)
             assert routed.shape == KEYS.shape, name
             assert routed.min() >= 0 and routed.max() < 8, name
 
@@ -49,7 +49,7 @@ class TestRoundTrip:
         b = make_partitioner("kg", 10, seed=1)
         c = make_partitioner("kg", 10, seed=2)
         routed_a, routed_b, routed_c = (
-            x.route_stream(KEYS) for x in (a, b, c)
+            x.route_chunk(KEYS) for x in (a, b, c)
         )
         assert np.array_equal(routed_a, routed_b)
         assert not np.array_equal(routed_a, routed_c)
@@ -116,7 +116,7 @@ class TestSpecStrings:
     def test_seed_in_spec_wins_over_argument(self):
         p = make_partitioner("pkg:seed=9", 10, seed=1)
         q = make_partitioner("pkg", 10, seed=9)
-        assert np.array_equal(p.route_stream(KEYS), q.route_stream(KEYS))
+        assert np.array_equal(p.route_chunk(KEYS), q.route_chunk(KEYS))
 
     @pytest.mark.parametrize(
         "bad",

@@ -1,0 +1,128 @@
+"""Native C kernels vs pure-Python fallbacks.
+
+The compiled kernels are an optional accelerator: every routing
+decision they make must match the pure-Python chunk loops bit for bit.
+These tests force both implementations (via ``REPRO_NO_NATIVE``) and
+compare; they skip where no compiler is available.
+"""
+
+import numpy as np
+import pytest
+
+from repro._native import build as native_build
+from repro._native import get_kernels
+from repro.core.engine import (
+    InterleavedRouter,
+    bind_route_chunk,
+    greedy_route_chunk,
+    least_loaded_chunk,
+)
+
+pytestmark = pytest.mark.skipif(
+    get_kernels() is None, reason="no C compiler / native kernels unavailable"
+)
+
+
+@pytest.fixture
+def forced_python(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    assert get_kernels() is None
+
+
+def random_choices(m, d, num_workers, seed):
+    return np.ascontiguousarray(
+        np.random.default_rng(seed).integers(0, num_workers, size=(m, d)),
+        dtype=np.int64,
+    )
+
+
+@pytest.mark.parametrize("d", [2, 3, 5])
+def test_greedy_route_native_matches_python(monkeypatch, d):
+    choices = random_choices(7_000, d, 9, seed=d)
+    native_loads = np.zeros(9, dtype=np.int64)
+    native_out = greedy_route_chunk(choices, native_loads)
+
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    python_loads = np.zeros(9, dtype=np.int64)
+    python_out = greedy_route_chunk(choices, python_loads)
+
+    assert np.array_equal(native_out, python_out)
+    assert np.array_equal(native_loads, python_loads)
+
+
+def test_least_loaded_native_matches_python(monkeypatch):
+    native_loads = np.array([3, 0, 5, 0, 1], dtype=np.int64)
+    native_out = least_loaded_chunk(4_000, native_loads)
+
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    python_loads = np.array([3, 0, 5, 0, 1], dtype=np.int64)
+    python_out = least_loaded_chunk(4_000, python_loads)
+
+    assert np.array_equal(native_out, python_out)
+    assert np.array_equal(native_loads, python_loads)
+
+
+@pytest.mark.parametrize("with_choices", [True, False])
+def test_bind_route_native_matches_python(monkeypatch, with_choices):
+    rng = np.random.default_rng(4)
+    codes = np.ascontiguousarray(rng.integers(0, 300, size=5_000), dtype=np.int64)
+    choices = random_choices(5_000, 2, 6, seed=9) if with_choices else None
+
+    native_table = np.full(300, -1, dtype=np.int64)
+    native_loads = np.zeros(6, dtype=np.int64)
+    native_out = bind_route_chunk(codes, choices, 6, native_table, native_loads)
+
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    python_table = np.full(300, -1, dtype=np.int64)
+    python_loads = np.zeros(6, dtype=np.int64)
+    python_out = bind_route_chunk(codes, choices, 6, python_table, python_loads)
+
+    assert np.array_equal(native_out, python_out)
+    assert np.array_equal(native_table, python_table)
+    assert np.array_equal(native_loads, python_loads)
+
+
+@pytest.mark.parametrize("mode", ["local", "global", "probing"])
+def test_interleaved_native_matches_python(monkeypatch, mode):
+    choices = random_choices(6_000, 2, 5, seed=1)
+    sources = np.ascontiguousarray(np.arange(6_000) % 3, dtype=np.int64)
+    times = np.arange(6_000, dtype=np.float64)
+    period = 400.0 if mode == "probing" else 0.0
+
+    native = InterleavedRouter(3, 5, mode, period)
+    native_out = np.concatenate(
+        [
+            native.route(choices[i : i + 1_000], sources[i : i + 1_000],
+                         times[i : i + 1_000] if mode == "probing" else None)
+            for i in range(0, 6_000, 1_000)
+        ]
+    )
+
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    python = InterleavedRouter(3, 5, mode, period)
+    python_out = np.concatenate(
+        [
+            python.route(choices[i : i + 1_000], sources[i : i + 1_000],
+                         times[i : i + 1_000] if mode == "probing" else None)
+            for i in range(0, 6_000, 1_000)
+        ]
+    )
+
+    assert np.array_equal(native_out, python_out)
+    assert np.array_equal(native.true_loads, python.true_loads)
+    if native.views is not None:
+        assert np.array_equal(native.views, python.views)
+    if native.next_probe is not None:
+        assert np.array_equal(native.next_probe, python.next_probe)
+
+
+def test_build_artifacts_are_content_addressed():
+    path = native_build._shared_object_path()
+    assert path.name.startswith("_kernels_")
+    assert path.suffix == ".so"
+    assert path.exists()  # built by the session that imported the kernels
+
+
+def test_disable_env_round_trip(monkeypatch, forced_python):
+    monkeypatch.delenv("REPRO_NO_NATIVE")
+    assert get_kernels() is not None

@@ -38,28 +38,28 @@ class TestKeyGrouping:
         a, b = KeyGrouping(9, seed=3), KeyGrouping(9, seed=3)
         assert all(a.route(k) == b.route(k) for k in range(200))
 
-    def test_route_stream_matches_scalar(self):
+    def test_route_chunk_matches_scalar(self):
         kg = KeyGrouping(6, seed=1)
         keys = np.arange(500, dtype=np.int64)
-        vec = kg.route_stream(keys)
+        vec = kg.route_chunk(keys)
         assert all(int(vec[i]) == kg.route(i) for i in range(0, 500, 41))
 
-    def test_route_stream_string_keys(self):
+    def test_route_chunk_string_keys(self):
         kg = KeyGrouping(6)
         words = np.array(["a", "b", "a", "c"])
-        routed = kg.route_stream(words)
+        routed = kg.route_chunk(words)
         assert routed[0] == routed[2]
 
     def test_spreads_keys_roughly_uniformly(self):
         kg = KeyGrouping(10, seed=2)
-        loads = np.bincount(kg.route_stream(np.arange(100_000)), minlength=10)
+        loads = np.bincount(kg.route_chunk(np.arange(100_000)), minlength=10)
         assert loads.max() < 1.1 * loads.mean()
 
     def test_skewed_stream_imbalanced(self):
         # The motivating failure: one hot key -> one hot worker.
         kg = KeyGrouping(4)
         keys = np.zeros(1000, dtype=np.int64)
-        loads = np.bincount(kg.route_stream(keys), minlength=4)
+        loads = np.bincount(kg.route_chunk(keys), minlength=4)
         assert loads.max() == 1000
 
     def test_hash_family_injection(self):
@@ -84,21 +84,21 @@ class TestShuffleGrouping:
         assert sg.route("a") == 0
         assert sg.route("a") == 1
 
-    def test_route_stream_continues_cycle(self):
+    def test_route_chunk_continues_cycle(self):
         sg = ShuffleGrouping(3)
         sg.route("x")  # advance to 1
-        routed = sg.route_stream(np.arange(5))
+        routed = sg.route_chunk(np.arange(5))
         assert routed.tolist() == [1, 2, 0, 1, 2]
         assert sg.route("x") == 0
 
     def test_perfect_balance(self):
         sg = ShuffleGrouping(8)
-        loads = np.bincount(sg.route_stream(np.zeros(8000, dtype=np.int64)))
+        loads = np.bincount(sg.route_chunk(np.zeros(8000, dtype=np.int64)))
         assert loads.max() - loads.min() == 0
 
     def test_imbalance_at_most_one(self):
         sg = ShuffleGrouping(7)
-        loads = np.bincount(sg.route_stream(np.zeros(1000, dtype=np.int64)), minlength=7)
+        loads = np.bincount(sg.route_chunk(np.zeros(1000, dtype=np.int64)), minlength=7)
         assert loads.max() - loads.min() <= 1
 
     def test_reset(self):
@@ -106,3 +106,24 @@ class TestShuffleGrouping:
         sg.route("k")
         sg.reset()
         assert sg.route("k") == 0
+
+
+class TestRouteStreamDeprecation:
+    def test_route_stream_warns_and_delegates(self):
+        kg = KeyGrouping(6, seed=1)
+        keys = np.arange(100, dtype=np.int64)
+        with pytest.warns(DeprecationWarning, match="route_chunk"):
+            routed = kg.route_stream(keys)
+        assert np.array_equal(routed, KeyGrouping(6, seed=1).route_chunk(keys))
+
+    def test_route_stream_honours_timestamps(self):
+        from repro.load import ProbingLoadEstimator, WorkerLoadRegistry
+        from repro.partitioning import PartialKeyGrouping
+
+        registry = WorkerLoadRegistry(4)
+        estimator = ProbingLoadEstimator(4, registry, period=10.0)
+        pkg = PartialKeyGrouping(4, estimator=estimator, seed=0)
+        times = np.linspace(0, 100, 50)
+        with pytest.warns(DeprecationWarning):
+            pkg.route_stream(np.arange(50, dtype=np.int64), times)
+        assert estimator.probes >= 1

@@ -31,7 +31,7 @@ class TestKeySplitting:
     def test_key_split_across_at_most_two_workers(self):
         pkg = PartialKeyGrouping(10, seed=2)
         keys = skewed_keys(20_000)
-        routed = pkg.route_stream(keys)
+        routed = pkg.route_chunk(keys)
         for key in np.unique(keys)[:100]:
             used = set(routed[keys == key].tolist())
             assert used <= set(pkg.candidates(int(key)))
@@ -90,7 +90,7 @@ class TestFastPath:
         keys = skewed_keys(5000)
         fast = PartialKeyGrouping(8, seed=4)
         slow = PartialKeyGrouping(8, seed=4)
-        fast_routes = fast.route_stream(keys)
+        fast_routes = fast.route_chunk(keys)
         slow_routes = np.array([slow.route(int(k)) for k in keys])
         assert np.array_equal(fast_routes, slow_routes)
 
@@ -99,14 +99,14 @@ class TestFastPath:
         fast = PartialKeyGrouping(8, num_choices=3, seed=4)
         slow = PartialKeyGrouping(8, num_choices=3, seed=4)
         assert np.array_equal(
-            fast.route_stream(keys), np.array([slow.route(int(k)) for k in keys])
+            fast.route_chunk(keys), np.array([slow.route(int(k)) for k in keys])
         )
 
     def test_fast_path_mirrors_registry(self):
         reg = WorkerLoadRegistry(6)
         pkg = PartialKeyGrouping(6, registry=reg, seed=0)
         keys = skewed_keys(3000)
-        routed = pkg.route_stream(keys)
+        routed = pkg.route_chunk(keys)
         assert np.array_equal(
             reg.loads, np.bincount(routed, minlength=6)
         )
@@ -114,7 +114,7 @@ class TestFastPath:
     def test_string_keys_fall_back_to_generic(self):
         pkg = PartialKeyGrouping(5, seed=0)
         words = np.array(["a", "b", "a", "c", "a"])
-        routed = pkg.route_stream(words)
+        routed = pkg.route_chunk(words)
         assert routed.size == 5
         assert all(r in pkg.candidates(w) for r, w in zip(routed, words))
 
@@ -124,7 +124,7 @@ class TestFastPath:
         pkg = PartialKeyGrouping(4, estimator=est, seed=0)
         keys = skewed_keys(2000)
         times = np.arange(2000, dtype=np.float64)
-        routed = pkg.route_stream(keys, times)
+        routed = pkg.route_chunk(keys, times)
         assert routed.size == 2000
         assert est.probes >= 1
 

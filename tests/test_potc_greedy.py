@@ -113,10 +113,10 @@ class TestOfflineGreedy:
         assert 0 <= w < 3
         assert og.route("unseen") == w  # now remembered
 
-    def test_route_stream_vectorized_matches_table(self):
+    def test_route_chunk_vectorized_matches_table(self):
         keys = skewed_keys(5000)
         og = OfflineGreedy.from_stream(keys, 7)
-        routed = og.route_stream(keys)
+        routed = og.route_chunk(keys)
         assert all(
             routed[i] == og.routing_table[int(keys[i])] for i in range(0, 5000, 333)
         )
@@ -130,7 +130,7 @@ class TestOfflineGreedy:
 class TestLeastLoaded:
     def test_perfect_balance_like_shuffle(self):
         ll = LeastLoaded(5)
-        routed = ll.route_stream(np.zeros(5000, dtype=np.int64))
+        routed = ll.route_chunk(np.zeros(5000, dtype=np.int64))
         loads = np.bincount(routed, minlength=5)
         assert loads.max() - loads.min() <= 1
 

@@ -60,7 +60,7 @@ class TestPartitionerProperties:
     @settings(max_examples=50)
     def test_sg_imbalance_at_most_one(self, keys, n):
         sg = ShuffleGrouping(n)
-        loads = np.bincount(sg.route_stream(np.array(keys)), minlength=n)
+        loads = np.bincount(sg.route_chunk(np.array(keys)), minlength=n)
         assert loads.max() - loads.min() <= 1
 
     @given(keys_strategy, st.integers(min_value=2, max_value=12))
@@ -76,7 +76,7 @@ class TestPartitionerProperties:
     def test_pkg_replication_at_most_two(self, keys, n):
         pkg = PartialKeyGrouping(n, seed=5)
         keys_arr = np.array(keys)
-        routes = pkg.route_stream(keys_arr)
+        routes = pkg.route_chunk(keys_arr)
         for k in set(keys):
             used = set(routes[keys_arr == k].tolist())
             assert len(used) <= 2
@@ -89,7 +89,7 @@ class TestPartitionerProperties:
         of a message were the same pair, greedy keeps them balanced."""
         pkg = PartialKeyGrouping(n, seed=7)
         keys_arr = np.array(keys)
-        loads = np.bincount(pkg.route_stream(keys_arr), minlength=n)
+        loads = np.bincount(pkg.route_chunk(keys_arr), minlength=n)
         assert loads.sum() == len(keys)
         # Every message went to a candidate of its key (invariant also
         # checked per-key above); loads never exceed the stream length.

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.reports import ExperimentArtifact, Metric, RunManifest, SchemaError
-from repro.reports.diffing import diff_artifacts
+from repro.reports.diffing import diff_artifacts, load_artifact_set
 
 
 def artifact(metrics, experiment="table2"):
@@ -90,3 +90,61 @@ class TestReport:
         )
         (change,) = report.changes
         assert change.status == "removed"
+
+
+class TestBenchSnapshotDiff:
+    """BENCH_*.json snapshots diff like artifacts (the bench-smoke gate)."""
+
+    def _snapshot(self, tmp_path, name, kps):
+        from repro.reports.bench import write_bench_snapshot
+
+        results = [
+            {"name": scheme, "keys_per_second": value, "num_messages": 1000}
+            for scheme, value in kps.items()
+        ]
+        directory = tmp_path / name
+        directory.mkdir()
+        return write_bench_snapshot(
+            "partitioners", results, directory=directory,
+            created_utc="2026-01-01T00:00:00Z",
+        )
+
+    def test_throughput_drop_regresses(self, tmp_path):
+        old = load_artifact_set(
+            self._snapshot(tmp_path, "old", {"pkg": 100.0, "kg": 50.0})
+        )
+        new = load_artifact_set(
+            self._snapshot(tmp_path, "new", {"pkg": 60.0, "kg": 50.0})
+        )
+        report = diff_artifacts(old, new, tolerance=0.30)
+        assert report.has_regressions
+        (regression,) = report.regressions
+        assert regression.name == "pkg.keys_per_second"
+        assert regression.direction == "higher"
+
+    def test_throughput_gain_improves(self, tmp_path):
+        old = load_artifact_set(
+            self._snapshot(tmp_path, "old", {"pkg": 100.0})
+        )
+        new = load_artifact_set(
+            self._snapshot(tmp_path, "new", {"pkg": 500.0})
+        )
+        report = diff_artifacts(old, new, tolerance=0.30)
+        assert not report.has_regressions
+        assert [c.name for c in report.improvements] == ["pkg.keys_per_second"]
+
+    def test_within_tolerance_ok(self, tmp_path):
+        old = load_artifact_set(self._snapshot(tmp_path, "old", {"pkg": 100.0}))
+        new = load_artifact_set(self._snapshot(tmp_path, "new", {"pkg": 80.0}))
+        report = diff_artifacts(old, new, tolerance=0.30)
+        assert not report.has_regressions
+
+    def test_cli_diff_on_bench_snapshots(self, tmp_path, capsys):
+        from repro.reports.__main__ import main
+
+        old = self._snapshot(tmp_path, "old", {"pkg": 100.0, "kg": 50.0})
+        new = self._snapshot(tmp_path, "new", {"pkg": 10.0, "kg": 55.0})
+        code = main(["diff", str(old), str(new), "--tolerance", "0.30"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "pkg.keys_per_second" in out

@@ -102,7 +102,7 @@ class TestMultiSource:
             keys, num_workers=7, num_sources=1, seed=3, keep_assignments=True
         )
         pkg = PartialKeyGrouping(7, seed=3)
-        assert np.array_equal(fast.assignments, pkg.route_stream(keys))
+        assert np.array_equal(fast.assignments, pkg.route_chunk(keys))
 
     def test_local_beats_hashing(self):
         keys = keys_(30_000)
