@@ -1,7 +1,9 @@
 """Setup shim for environments without the ``wheel`` package.
 
-Normal installs use pyproject.toml (``pip install -e .``).  On offline
-machines lacking ``wheel`` (required by PEP 660 editable builds), use::
+All package metadata lives in ``pyproject.toml`` (PEP 621); normal
+installs use it directly (``pip install -e .``).  This shim exists only
+for offline machines lacking ``wheel`` (required by PEP 660 editable
+builds), where legacy setuptools still works::
 
     pip install -e . --no-use-pep517 --no-build-isolation
 """

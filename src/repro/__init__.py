@@ -64,7 +64,7 @@ from repro.api import (
     run,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "make_partitioner",

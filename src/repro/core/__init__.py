@@ -12,7 +12,11 @@ this package:
 * :mod:`repro.core.metrics` -- streaming checkpoint/imbalance
   accumulation, so replays never need the full assignment array;
 * :mod:`repro.core.engine` -- the chunked replay engine (and the
-  discrete-event loop the DSPE cluster runs on).
+  discrete-event loop the DSPE cluster runs on);
+* :mod:`repro.core.parallel` -- the deterministic multi-process sweep
+  executor (order-preserving :func:`~repro.core.parallel.parallel_map`
+  plus the shared-memory materialized stream cache) that experiment
+  grids fan out on.
 
 Stateless partitioners vectorise whole chunks; stateful ones run a
 precomputed-hash chunk loop whose per-key work is an argmin over d
@@ -38,6 +42,13 @@ from repro.core.engine import (
     route_chunked,
 )
 from repro.core.metrics import StreamingLoadSeries, checkpoint_positions
+from repro.core.parallel import (
+    dataset_stream_cached,
+    edge_stream_cached,
+    materialized_stream,
+    parallel_map,
+    resolve_jobs,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -55,4 +66,9 @@ __all__ = [
     "route_chunked",
     "StreamingLoadSeries",
     "checkpoint_positions",
+    "dataset_stream_cached",
+    "edge_stream_cached",
+    "materialized_stream",
+    "parallel_map",
+    "resolve_jobs",
 ]

@@ -38,9 +38,16 @@ def main(argv=None) -> int:
         help="stream-length multiplier (default 1.0)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for grid sweeps (default: REPRO_PARALLEL or "
+             "cpu count; results are identical at any job count)",
+    )
     args = parser.parse_args(argv)
 
-    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    config = ExperimentConfig(scale=args.scale, seed=args.seed, jobs=args.jobs)
     names = sorted(HARNESSES) if args.experiment == "all" else [args.experiment]
     for name in names:
         harness = HARNESSES[name]

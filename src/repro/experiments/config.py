@@ -16,6 +16,12 @@ class ExperimentConfig:
     artifact manifests under ``results/`` and shown in the provenance
     table of the generated EXPERIMENTS.md (regenerate via
     ``python -m repro.reports run`` / ``render``).
+
+    ``jobs`` caps the worker processes the sweep executor
+    (:mod:`repro.core.parallel`) shards grid cells over.  ``None``
+    resolves via :func:`repro.core.parallel.resolve_jobs` (the
+    ``REPRO_PARALLEL`` env knob, defaulting to ``os.cpu_count()``);
+    results are identical at any job count by construction.
     """
 
     scale: float = 1.0
@@ -26,10 +32,14 @@ class ExperimentConfig:
     #: DSPE simulated seconds per Figure 5 run
     cluster_duration: float = 20.0
     cluster_warmup: float = 5.0
+    #: worker processes for grid sweeps (None = auto via REPRO_PARALLEL)
+    jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1 or None, got {self.jobs}")
 
     def messages_for(self, spec) -> int:
         """Scaled stream length for a dataset spec (at least 10k)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.parallel import dataset_stream_cached, parallel_map
 from repro.experiments.config import ExperimentConfig, format_table
 from repro.simulation import jaccard_overlap, simulate_multisource_pkg
 from repro.streams.datasets import get_dataset
@@ -40,7 +41,7 @@ def run_jaccard(
     """Measure routing agreement between G and L on one dataset."""
     config = config or ExperimentConfig()
     spec = get_dataset(dataset)
-    keys = spec.stream(config.messages_for(spec), seed=config.seed)
+    keys = dataset_stream_cached(dataset, config.messages_for(spec), config.seed)
     common = dict(
         num_workers=num_workers,
         num_sources=num_sources,
@@ -86,6 +87,27 @@ class DChoicesRow:
     average_imbalance_fraction: float
 
 
+def _dchoices_cell(cell) -> DChoicesRow:
+    """One ablation point: Greedy-d on the shared stream."""
+    symbol, messages, d, num_workers, seed, num_checkpoints = cell
+    keys = dataset_stream_cached(symbol, messages, seed)
+    result = simulate_multisource_pkg(
+        keys,
+        num_workers=num_workers,
+        num_sources=1,
+        mode="local",
+        num_choices=d,
+        seed=seed,
+        num_checkpoints=num_checkpoints,
+        scheme_name=f"Greedy-{d}",
+    )
+    return DChoicesRow(
+        num_choices=d,
+        num_workers=num_workers,
+        average_imbalance_fraction=result.average_imbalance_fraction,
+    )
+
+
 def run_dchoices_ablation(
     config: Optional[ExperimentConfig] = None,
     dataset: str = "WP",
@@ -94,28 +116,13 @@ def run_dchoices_ablation(
 ) -> List[DChoicesRow]:
     """Greedy-d imbalance for d = 1..4 on one dataset."""
     config = config or ExperimentConfig()
-    spec = get_dataset(dataset)
-    keys = spec.stream(config.messages_for(spec), seed=config.seed)
-    rows = []
-    for d in choices:
-        result = simulate_multisource_pkg(
-            keys,
-            num_workers=num_workers,
-            num_sources=1,
-            mode="local",
-            num_choices=d,
-            seed=config.seed,
-            num_checkpoints=config.num_checkpoints,
-            scheme_name=f"Greedy-{d}",
-        )
-        rows.append(
-            DChoicesRow(
-                num_choices=d,
-                num_workers=num_workers,
-                average_imbalance_fraction=result.average_imbalance_fraction,
-            )
-        )
-    return rows
+    messages = config.messages_for(get_dataset(dataset))
+    cells = [
+        (dataset, messages, d, num_workers, config.seed, config.num_checkpoints)
+        for d in choices
+    ]
+    streams = [("dataset", dataset.upper(), messages, config.seed)]
+    return parallel_map(_dchoices_cell, cells, jobs=config.jobs, streams=streams)
 
 
 def summarize_dchoices(rows: List[DChoicesRow]) -> dict:
@@ -150,6 +157,44 @@ class ProbingRow:
     average_imbalance_fraction: float
 
 
+def _probing_cell(cell) -> ProbingRow:
+    """One ablation point: probe period P on the shared stream."""
+    import numpy as np
+
+    (symbol, messages, period, num_workers, num_sources, stream_minutes,
+     seed, num_checkpoints) = cell
+    keys = dataset_stream_cached(symbol, messages, seed)
+    timestamps = np.linspace(0.0, stream_minutes, messages)
+    if period == 0.0:
+        result = simulate_multisource_pkg(
+            keys,
+            num_workers=num_workers,
+            num_sources=num_sources,
+            mode="local",
+            timestamps=timestamps,
+            seed=seed,
+            num_checkpoints=num_checkpoints,
+        )
+        label = f"L{num_sources}"
+    else:
+        result = simulate_multisource_pkg(
+            keys,
+            num_workers=num_workers,
+            num_sources=num_sources,
+            mode="probing",
+            probe_period=period,
+            timestamps=timestamps,
+            seed=seed,
+            num_checkpoints=num_checkpoints,
+        )
+        label = f"L{num_sources}P{period:g}"
+    return ProbingRow(
+        label=label,
+        probe_period=period,
+        average_imbalance_fraction=result.average_imbalance_fraction,
+    )
+
+
 def run_probing_ablation(
     config: Optional[ExperimentConfig] = None,
     dataset: str = "WP",
@@ -159,46 +204,15 @@ def run_probing_ablation(
     stream_minutes: float = 40 * 60.0,
 ) -> List[ProbingRow]:
     """Local estimation vs probing at several probe frequencies."""
-    import numpy as np
-
     config = config or ExperimentConfig()
-    spec = get_dataset(dataset)
-    messages = config.messages_for(spec)
-    keys = spec.stream(messages, seed=config.seed)
-    timestamps = np.linspace(0.0, stream_minutes, messages)
-    rows = []
-    for period in periods_minutes:
-        if period == 0.0:
-            result = simulate_multisource_pkg(
-                keys,
-                num_workers=num_workers,
-                num_sources=num_sources,
-                mode="local",
-                timestamps=timestamps,
-                seed=config.seed,
-                num_checkpoints=config.num_checkpoints,
-            )
-            label = f"L{num_sources}"
-        else:
-            result = simulate_multisource_pkg(
-                keys,
-                num_workers=num_workers,
-                num_sources=num_sources,
-                mode="probing",
-                probe_period=period,
-                timestamps=timestamps,
-                seed=config.seed,
-                num_checkpoints=config.num_checkpoints,
-            )
-            label = f"L{num_sources}P{period:g}"
-        rows.append(
-            ProbingRow(
-                label=label,
-                probe_period=period,
-                average_imbalance_fraction=result.average_imbalance_fraction,
-            )
-        )
-    return rows
+    messages = config.messages_for(get_dataset(dataset))
+    cells = [
+        (dataset, messages, period, num_workers, num_sources, stream_minutes,
+         config.seed, config.num_checkpoints)
+        for period in periods_minutes
+    ]
+    streams = [("dataset", dataset.upper(), messages, config.seed)]
+    return parallel_map(_probing_cell, cells, jobs=config.jobs, streams=streams)
 
 
 def summarize_probing(rows: List[ProbingRow]) -> dict:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.parallel import dataset_stream_cached, parallel_map
 from repro.experiments.config import ExperimentConfig, format_table
 from repro.simulation import simulate_multisource_pkg, simulate_stream
 from repro.streams.datasets import get_dataset
@@ -30,68 +31,58 @@ class Fig2Row:
     average_imbalance: float
 
 
+def _fig2_cell(cell) -> Fig2Row:
+    """One grid cell: (dataset, technique, W) on the shared stream."""
+    symbol, messages, technique, w, seed, num_checkpoints = cell
+    keys = dataset_stream_cached(symbol, messages, seed)
+    if technique == "H":
+        result = simulate_stream(
+            keys, "kg", num_workers=w, seed=seed, num_checkpoints=num_checkpoints
+        )
+    elif technique == "G":
+        result = simulate_multisource_pkg(
+            keys,
+            num_workers=w,
+            num_sources=5,
+            mode="global",
+            seed=seed,
+            num_checkpoints=num_checkpoints,
+        )
+    else:
+        result = simulate_multisource_pkg(
+            keys,
+            num_workers=w,
+            num_sources=int(technique[1:]),
+            mode="local",
+            seed=seed,
+            num_checkpoints=num_checkpoints,
+        )
+    return Fig2Row(
+        dataset=symbol,
+        technique=technique,
+        num_workers=w,
+        average_imbalance_fraction=result.average_imbalance_fraction,
+        average_imbalance=result.average_imbalance,
+    )
+
+
 def run_fig2(
     config: Optional[ExperimentConfig] = None,
     datasets: Sequence[str] = DEFAULT_DATASETS,
 ) -> List[Fig2Row]:
     config = config or ExperimentConfig()
-    rows: List[Fig2Row] = []
+    techniques = ["H", "G"] + [f"L{s}" for s in config.sources]
+    cells, streams = [], []
     for symbol in datasets:
-        spec = get_dataset(symbol)
-        keys = spec.stream(config.messages_for(spec), seed=config.seed)
+        messages = config.messages_for(get_dataset(symbol))
+        streams.append(("dataset", symbol.upper(), messages, config.seed))
         for w in config.workers:
-            hashing = simulate_stream(
-                keys,
-                "kg",
-                num_workers=w,
-                seed=config.seed,
-                num_checkpoints=config.num_checkpoints,
-            )
-            rows.append(
-                Fig2Row(
-                    dataset=symbol,
-                    technique="H",
-                    num_workers=w,
-                    average_imbalance_fraction=hashing.average_imbalance_fraction,
-                    average_imbalance=hashing.average_imbalance,
+            for technique in techniques:
+                cells.append(
+                    (symbol, messages, technique, w, config.seed,
+                     config.num_checkpoints)
                 )
-            )
-            oracle = simulate_multisource_pkg(
-                keys,
-                num_workers=w,
-                num_sources=5,
-                mode="global",
-                seed=config.seed,
-                num_checkpoints=config.num_checkpoints,
-            )
-            rows.append(
-                Fig2Row(
-                    dataset=symbol,
-                    technique="G",
-                    num_workers=w,
-                    average_imbalance_fraction=oracle.average_imbalance_fraction,
-                    average_imbalance=oracle.average_imbalance,
-                )
-            )
-            for s in config.sources:
-                local = simulate_multisource_pkg(
-                    keys,
-                    num_workers=w,
-                    num_sources=s,
-                    mode="local",
-                    seed=config.seed,
-                    num_checkpoints=config.num_checkpoints,
-                )
-                rows.append(
-                    Fig2Row(
-                        dataset=symbol,
-                        technique=f"L{s}",
-                        num_workers=w,
-                        average_imbalance_fraction=local.average_imbalance_fraction,
-                        average_imbalance=local.average_imbalance,
-                    )
-                )
-    return rows
+    return parallel_map(_fig2_cell, cells, jobs=config.jobs, streams=streams)
 
 
 def summarize_fig2(rows: List[Fig2Row]) -> dict:

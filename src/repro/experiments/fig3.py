@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.parallel import dataset_stream_cached, parallel_map
 from repro.experiments.config import ExperimentConfig, format_table
 from repro.simulation import simulate_multisource_pkg
 from repro.streams.datasets import get_dataset
@@ -52,6 +53,35 @@ class Fig3Series:
         return float(self.imbalance_fraction.mean())
 
 
+def _fig3_cell(cell) -> Fig3Series:
+    """One series: (dataset, W, technique) on the shared stream."""
+    (symbol, messages, w, name, mode, probe_period, num_sources, seed,
+     num_checkpoints) = cell
+    keys = dataset_stream_cached(symbol, messages, seed)
+    hours = STREAM_HOURS.get(symbol, 30.0)
+    # Timestamps in minutes, spread uniformly over the span.
+    timestamps = np.linspace(0.0, hours * 60.0, messages)
+    result = simulate_multisource_pkg(
+        keys,
+        num_workers=w,
+        num_sources=num_sources,
+        mode=mode,
+        probe_period=probe_period,
+        timestamps=timestamps,
+        seed=seed,
+        num_checkpoints=num_checkpoints,
+        scheme_name=name,
+    )
+    positions = result.checkpoint_positions
+    return Fig3Series(
+        dataset=symbol,
+        technique=name,
+        num_workers=w,
+        hours=timestamps[np.minimum(positions, messages) - 1] / 60.0,
+        imbalance_fraction=result.imbalance_fraction_series,
+    )
+
+
 def run_fig3(
     config: Optional[ExperimentConfig] = None,
     cases: Sequence[Tuple[str, int]] = DEFAULT_CASES,
@@ -59,44 +89,21 @@ def run_fig3(
     probe_minutes: float = 1.0,
 ) -> List[Fig3Series]:
     config = config or ExperimentConfig()
-    out: List[Fig3Series] = []
+    runs = (
+        ("G", "global", 0.0),
+        (f"L{num_sources}", "local", 0.0),
+        (f"L{num_sources}P1", "probing", probe_minutes),
+    )
+    cells, streams = [], []
     for symbol, w in cases:
-        spec = get_dataset(symbol)
-        messages = config.messages_for(spec)
-        keys = spec.stream(messages, seed=config.seed)
-        hours = STREAM_HOURS.get(symbol, 30.0)
-        # Timestamps in minutes, spread uniformly over the span.
-        timestamps = np.linspace(0.0, hours * 60.0, messages)
-        runs = (
-            ("G", dict(mode="global")),
-            (f"L{num_sources}", dict(mode="local")),
-            (
-                f"L{num_sources}P1",
-                dict(mode="probing", probe_period=probe_minutes),
-            ),
-        )
-        for name, kwargs in runs:
-            result = simulate_multisource_pkg(
-                keys,
-                num_workers=w,
-                num_sources=num_sources,
-                timestamps=timestamps,
-                seed=config.seed,
-                num_checkpoints=max(config.num_checkpoints, 40),
-                scheme_name=name,
-                **kwargs,
+        messages = config.messages_for(get_dataset(symbol))
+        streams.append(("dataset", symbol.upper(), messages, config.seed))
+        for name, mode, probe_period in runs:
+            cells.append(
+                (symbol, messages, w, name, mode, probe_period, num_sources,
+                 config.seed, max(config.num_checkpoints, 40))
             )
-            positions = result.checkpoint_positions
-            out.append(
-                Fig3Series(
-                    dataset=symbol,
-                    technique=name,
-                    num_workers=w,
-                    hours=timestamps[np.minimum(positions, messages) - 1] / 60.0,
-                    imbalance_fraction=result.imbalance_fraction_series,
-                )
-            )
-    return out
+    return parallel_map(_fig3_cell, cells, jobs=config.jobs, streams=streams)
 
 
 def summarize_fig3(series: List[Fig3Series]) -> dict:

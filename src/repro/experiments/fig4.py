@@ -16,10 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.parallel import edge_stream_cached, parallel_map
 from repro.experiments.config import ExperimentConfig, format_table
 from repro.simulation import assign_sources, simulate_multisource_pkg
 from repro.streams.datasets import get_dataset
-from repro.streams.graphs import EdgeStream
 
 
 @dataclass
@@ -31,45 +31,52 @@ class Fig4Row:
     average_imbalance_fraction: float
 
 
+def _fig4_cell(cell) -> Fig4Row:
+    """One grid cell: (dataset, S, split, W) on the shared edge stream."""
+    symbol, num_edges, s, split, w, seed, num_checkpoints = cell
+    source_keys, worker_keys = edge_stream_cached(num_edges, seed)
+    if split == "uniform":
+        source_ids = assign_sources(len(worker_keys), s)
+    else:
+        source_ids = assign_sources(
+            len(worker_keys), s, source_keys=source_keys, seed=seed
+        )
+    result = simulate_multisource_pkg(
+        worker_keys,
+        num_workers=w,
+        num_sources=s,
+        mode="local",
+        source_ids=source_ids,
+        seed=seed,
+        num_checkpoints=num_checkpoints,
+        scheme_name=f"{split} L{s}",
+    )
+    return Fig4Row(
+        dataset=symbol,
+        split=split,
+        num_sources=s,
+        num_workers=w,
+        average_imbalance_fraction=result.average_imbalance_fraction,
+    )
+
+
 def run_fig4(
     config: Optional[ExperimentConfig] = None,
     datasets: Sequence[str] = ("LJ",),
 ) -> List[Fig4Row]:
     config = config or ExperimentConfig()
-    rows: List[Fig4Row] = []
+    cells, streams = [], []
     for symbol in datasets:
-        spec = get_dataset(symbol)
-        num_edges = config.messages_for(spec)
-        stream = EdgeStream.generate(num_edges, seed=config.seed)
+        num_edges = config.messages_for(get_dataset(symbol))
+        streams.append(("edges", num_edges, config.seed))
         for s in config.sources:
-            uniform_ids = assign_sources(len(stream), s)
-            skewed_ids = assign_sources(
-                len(stream), s, source_keys=stream.source_keys, seed=config.seed
-            )
-            for split, source_ids in (("uniform", uniform_ids), ("skewed", skewed_ids)):
+            for split in ("uniform", "skewed"):
                 for w in config.workers:
-                    result = simulate_multisource_pkg(
-                        stream.worker_keys,
-                        num_workers=w,
-                        num_sources=s,
-                        mode="local",
-                        source_ids=source_ids,
-                        seed=config.seed,
-                        num_checkpoints=config.num_checkpoints,
-                        scheme_name=f"{split} L{s}",
+                    cells.append(
+                        (symbol, num_edges, s, split, w, config.seed,
+                         config.num_checkpoints)
                     )
-                    rows.append(
-                        Fig4Row(
-                            dataset=symbol,
-                            split=split,
-                            num_sources=s,
-                            num_workers=w,
-                            average_imbalance_fraction=(
-                                result.average_imbalance_fraction
-                            ),
-                        )
-                    )
-    return rows
+    return parallel_map(_fig4_cell, cells, jobs=config.jobs, streams=streams)
 
 
 def summarize_fig4(rows: List[Fig4Row]) -> dict:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.parallel import parallel_map
 from repro.dspe import ClusterConfig, run_wordcount
 from repro.experiments.config import ExperimentConfig, format_table
 from repro.streams.datasets import get_dataset
@@ -33,34 +34,38 @@ class Fig5aRow:
     load_imbalance: float
 
 
+def _fig5a_cell(cell) -> Fig5aRow:
+    """One cluster simulation: (delay, scheme)."""
+    dataset, delay, scheme, duration, warmup, seed = cell
+    distribution = get_dataset(dataset).distribution()
+    metrics = run_wordcount(
+        scheme,
+        distribution,
+        ClusterConfig(cpu_delay=delay, duration=duration, warmup=warmup, seed=seed),
+    )
+    return Fig5aRow(
+        scheme=scheme.upper(),
+        cpu_delay=delay,
+        throughput=metrics.throughput,
+        mean_latency=metrics.latency.mean,
+        p99_latency=metrics.latency.percentile(99),
+        load_imbalance=metrics.load_imbalance,
+    )
+
+
 def run_fig5a(
     config: Optional[ExperimentConfig] = None,
     delays: Sequence[float] = DEFAULT_DELAYS,
     dataset: str = "WP",
 ) -> List[Fig5aRow]:
     config = config or ExperimentConfig()
-    distribution = get_dataset(dataset).distribution()
-    rows: List[Fig5aRow] = []
-    for delay in delays:
-        for scheme in SCHEMES:
-            cluster_cfg = ClusterConfig(
-                cpu_delay=delay,
-                duration=config.cluster_duration,
-                warmup=config.cluster_warmup,
-                seed=config.seed,
-            )
-            metrics = run_wordcount(scheme, distribution, cluster_cfg)
-            rows.append(
-                Fig5aRow(
-                    scheme=scheme.upper(),
-                    cpu_delay=delay,
-                    throughput=metrics.throughput,
-                    mean_latency=metrics.latency.mean,
-                    p99_latency=metrics.latency.percentile(99),
-                    load_imbalance=metrics.load_imbalance,
-                )
-            )
-    return rows
+    cells = [
+        (dataset, delay, scheme, config.cluster_duration, config.cluster_warmup,
+         config.seed)
+        for delay in delays
+        for scheme in SCHEMES
+    ]
+    return parallel_map(_fig5a_cell, cells, jobs=config.jobs)
 
 
 def degradations(rows: List[Fig5aRow]) -> dict:

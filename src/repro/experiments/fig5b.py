@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.parallel import parallel_map
 from repro.dspe import ClusterConfig, run_wordcount
 from repro.experiments.config import ExperimentConfig, format_table
 from repro.streams.datasets import get_dataset
@@ -35,6 +36,31 @@ class Fig5bRow:
     aggregation_messages: int
 
 
+def _fig5b_cell(cell) -> Fig5bRow:
+    """One cluster simulation: (scheme, T); T=0 is the KG reference."""
+    dataset, scheme, period, cpu_delay, duration, warmup, seed = cell
+    distribution = get_dataset(dataset).distribution()
+    metrics = run_wordcount(
+        scheme,
+        distribution,
+        ClusterConfig(
+            cpu_delay=cpu_delay,
+            duration=duration,
+            warmup=warmup,
+            aggregation_period=period,
+            seed=seed,
+        ),
+    )
+    return Fig5bRow(
+        scheme=scheme.upper(),
+        aggregation_period=period,
+        throughput=metrics.throughput,
+        average_memory_counters=metrics.average_memory_counters,
+        peak_memory_counters=metrics.peak_memory_counters,
+        aggregation_messages=0 if scheme == "kg" else metrics.aggregation_messages,
+    )
+
+
 def run_fig5b(
     config: Optional[ExperimentConfig] = None,
     periods: Sequence[float] = DEFAULT_PERIODS,
@@ -42,56 +68,17 @@ def run_fig5b(
     cpu_delay: float = 0.5e-3,
 ) -> List[Fig5bRow]:
     config = config or ExperimentConfig()
-    distribution = get_dataset(dataset).distribution()
     # Aggregation needs several periods of steady state to measure.
     duration = max(config.cluster_duration, 3.0 * max(periods) + 10.0)
     warmup = max(config.cluster_warmup, max(periods))
-    rows: List[Fig5bRow] = []
-    for scheme in ("pkg", "sg"):
-        for period in periods:
-            metrics = run_wordcount(
-                scheme,
-                distribution,
-                ClusterConfig(
-                    cpu_delay=cpu_delay,
-                    duration=duration,
-                    warmup=warmup,
-                    aggregation_period=period,
-                    seed=config.seed,
-                ),
-            )
-            rows.append(
-                Fig5bRow(
-                    scheme=scheme.upper(),
-                    aggregation_period=period,
-                    throughput=metrics.throughput,
-                    average_memory_counters=metrics.average_memory_counters,
-                    peak_memory_counters=metrics.peak_memory_counters,
-                    aggregation_messages=metrics.aggregation_messages,
-                )
-            )
+    cells = [
+        (dataset, scheme, period, cpu_delay, duration, warmup, config.seed)
+        for scheme in ("pkg", "sg")
+        for period in periods
+    ]
     # KG reference: no aggregation stage, same delay.
-    kg = run_wordcount(
-        "kg",
-        distribution,
-        ClusterConfig(
-            cpu_delay=cpu_delay,
-            duration=duration,
-            warmup=warmup,
-            seed=config.seed,
-        ),
-    )
-    rows.append(
-        Fig5bRow(
-            scheme="KG",
-            aggregation_period=0.0,
-            throughput=kg.throughput,
-            average_memory_counters=kg.average_memory_counters,
-            peak_memory_counters=kg.peak_memory_counters,
-            aggregation_messages=0,
-        )
-    )
-    return rows
+    cells.append((dataset, "kg", 0.0, cpu_delay, duration, warmup, config.seed))
+    return parallel_map(_fig5b_cell, cells, jobs=config.jobs)
 
 
 def summarize_fig5b(rows: List[Fig5bRow]) -> dict:

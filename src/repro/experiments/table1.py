@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.parallel import dataset_stream_cached, parallel_map
 from repro.experiments.config import ExperimentConfig, format_table
 from repro.streams.datasets import DATASETS, DatasetSpec
 
@@ -35,26 +36,32 @@ class Table1Row:
         ) / self.paper_p1_percent
 
 
+def _table1_cell(cell) -> Table1Row:
+    """Measure one generated dataset stream."""
+    symbol, messages, seed = cell
+    spec = DATASETS[symbol]
+    keys = dataset_stream_cached(symbol, messages, seed)
+    counts = np.bincount(keys)
+    return Table1Row(
+        symbol=spec.symbol,
+        paper_messages=spec.paper_messages,
+        paper_keys=spec.paper_keys,
+        paper_p1_percent=spec.paper_p1_percent,
+        generated_messages=int(keys.size),
+        generated_keys=int((counts > 0).sum()),
+        measured_p1_percent=float(counts.max() / keys.size * 100.0),
+    )
+
+
 def run_table1(config: Optional[ExperimentConfig] = None) -> List[Table1Row]:
     """Generate every dataset and measure its stream statistics."""
     config = config or ExperimentConfig()
-    rows = []
-    for spec in DATASETS.values():
-        messages = config.messages_for(spec)
-        keys = spec.stream(messages, seed=config.seed)
-        counts = np.bincount(keys)
-        rows.append(
-            Table1Row(
-                symbol=spec.symbol,
-                paper_messages=spec.paper_messages,
-                paper_keys=spec.paper_keys,
-                paper_p1_percent=spec.paper_p1_percent,
-                generated_messages=int(keys.size),
-                generated_keys=int((counts > 0).sum()),
-                measured_p1_percent=float(counts.max() / keys.size * 100.0),
-            )
-        )
-    return rows
+    cells = [
+        (symbol, config.messages_for(spec), config.seed)
+        for symbol, spec in DATASETS.items()
+    ]
+    streams = [("dataset", symbol, messages, seed) for symbol, messages, seed in cells]
+    return parallel_map(_table1_cell, cells, jobs=config.jobs, streams=streams)
 
 
 def summarize_table1(rows: List[Table1Row]) -> dict:

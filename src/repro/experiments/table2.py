@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.api.registry import make_partitioner
+from repro.core.parallel import dataset_stream_cached, parallel_map
 from repro.experiments.config import ExperimentConfig, format_table, sci
 from repro.partitioning import OfflineGreedy
 from repro.simulation import simulate_multisource_pkg, simulate_stream
@@ -64,6 +65,22 @@ def _run_scheme(scheme: str, keys, num_workers: int, config: ExperimentConfig):
     )
 
 
+def _table2_cell(cell) -> Table2Row:
+    """One grid cell: (dataset, W, scheme) on the shared stream."""
+    symbol, messages, w, scheme, seed, num_checkpoints = cell
+    keys = dataset_stream_cached(symbol, messages, seed)
+    config = ExperimentConfig(seed=seed, num_checkpoints=num_checkpoints)
+    result = _run_scheme(scheme, keys, w, config)
+    return Table2Row(
+        dataset=symbol,
+        scheme=scheme,
+        num_workers=w,
+        average_imbalance=result.average_imbalance,
+        final_imbalance=result.final_imbalance,
+        num_messages=result.num_messages,
+    )
+
+
 def run_table2(
     config: Optional[ExperimentConfig] = None,
     datasets: Sequence[str] = ("WP", "TW"),
@@ -71,24 +88,17 @@ def run_table2(
 ) -> List[Table2Row]:
     """Average imbalance of every scheme on every dataset/W pair."""
     config = config or ExperimentConfig()
-    rows: List[Table2Row] = []
+    cells, streams = [], []
     for symbol in datasets:
-        spec = get_dataset(symbol)
-        keys = spec.stream(config.messages_for(spec), seed=config.seed)
+        messages = config.messages_for(get_dataset(symbol))
+        streams.append(("dataset", symbol.upper(), messages, config.seed))
         for w in config.workers:
             for scheme in schemes:
-                result = _run_scheme(scheme, keys, w, config)
-                rows.append(
-                    Table2Row(
-                        dataset=symbol,
-                        scheme=scheme,
-                        num_workers=w,
-                        average_imbalance=result.average_imbalance,
-                        final_imbalance=result.final_imbalance,
-                        num_messages=result.num_messages,
-                    )
+                cells.append(
+                    (symbol, messages, w, scheme, config.seed,
+                     config.num_checkpoints)
                 )
-    return rows
+    return parallel_map(_table2_cell, cells, jobs=config.jobs, streams=streams)
 
 
 def summarize_table2(rows: List[Table2Row]) -> dict:

@@ -141,9 +141,10 @@ def splitmix64_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
     hash functions over the same keys (the H1..Hd of Section IV).
     Returns a ``uint64`` array of the same shape.
     """
+    # Always mix the seed (splitmix64(0) != 0) so the array path agrees
+    # with HashFunction.__call__ for every seed, zero included.
     x = np.asarray(keys).astype(np.uint64, copy=True)
-    if seed:
-        x ^= np.uint64(splitmix64(seed))
+    x ^= np.uint64(splitmix64(seed))
     x += np.uint64(_SM_GAMMA)
     x = (x ^ (x >> np.uint64(30))) * np.uint64(_SM_MUL1)
     x = (x ^ (x >> np.uint64(27))) * np.uint64(_SM_MUL2)

@@ -32,19 +32,6 @@ from repro.load.local import LocalLoadEstimator
 from repro.partitioning.base import Partitioner
 
 
-def _successor_matrix(ring: HashRing, unique_keys: np.ndarray, count: int) -> np.ndarray:
-    """Ring successors of each distinct key, as a ``(u, count')`` matrix.
-
-    ``count'`` may be smaller than ``count`` when the ring has fewer
-    members (``HashRing.successors`` truncates identically per key).
-    """
-    width = min(count, len(ring.workers))
-    out = np.empty((unique_keys.size, width), dtype=np.int64)
-    for u, key in enumerate(unique_keys.tolist()):
-        out[u] = ring.successors(key, width)
-    return out
-
-
 class HashRing:
     """A consistent-hash ring of workers with virtual nodes.
 
@@ -70,6 +57,10 @@ class HashRing:
         self._points: List[int] = []
         self._owners: List[int] = []
         self._members: set = set()
+        # Lazily built lookup tables (see _points_table/_successor_table);
+        # any membership change invalidates them.
+        self._points_arr: Optional[np.ndarray] = None
+        self._succ_tables: dict = {}
         for worker in range(num_workers):
             self.add_worker(worker)
 
@@ -88,6 +79,7 @@ class HashRing:
             idx = bisect.bisect_left(self._points, point)
             self._points.insert(idx, point)
             self._owners.insert(idx, worker)
+        self._invalidate()
 
     def remove_worker(self, worker: int) -> None:
         """Remove a worker; its arcs fall to the next ring successors."""
@@ -101,28 +93,85 @@ class HashRing:
         ]
         self._points = [p for p, _ in keep]
         self._owners = [w for _, w in keep]
+        self._invalidate()
 
     @property
     def workers(self) -> set:
         return set(self._members)
 
+    # -- precomputed lookup tables ------------------------------------
+
+    def _invalidate(self) -> None:
+        self._points_arr = None
+        self._succ_tables.clear()
+
+    def _points_table(self) -> np.ndarray:
+        """The sorted ring points as a numpy array."""
+        if self._points_arr is None:
+            self._points_arr = np.array(self._points, dtype=np.uint64)
+        return self._points_arr
+
+    def _successor_table(self, width: int) -> np.ndarray:
+        """``table[i]``: first ``width`` distinct owners clockwise of
+        ring position ``i`` -- one walk per *position*, so lookups are a
+        searchsorted plus a row gather instead of a walk per key."""
+        table = self._succ_tables.get(width)
+        if table is None:
+            owners = self._owners
+            num_points = len(owners)
+            table = np.empty((num_points, width), dtype=np.int64)
+            for i in range(num_points):
+                out: List[int] = []
+                seen = set()
+                j = i
+                while len(out) < width:
+                    owner = owners[j]
+                    if owner not in seen:
+                        seen.add(owner)
+                        out.append(owner)
+                    j += 1
+                    if j == num_points:
+                        j = 0
+                table[i] = out
+            self._succ_tables[width] = table
+        return table
+
+    def _positions(self, keys: np.ndarray) -> np.ndarray:
+        """Ring position of each key (vectorized ``bisect_right``)."""
+        points = self._points_table()
+        keys = np.asarray(keys)
+        if np.issubdtype(keys.dtype, np.integer):
+            hashes = self._key_hash.hash_array(keys)
+        else:
+            hashes = np.fromiter(
+                (self._key_hash(key) for key in keys.tolist()),
+                dtype=np.uint64,
+                count=keys.size,
+            )
+        return np.searchsorted(points, hashes, side="right") % points.size
+
+    def successor_matrix(self, keys, count: int = 1) -> np.ndarray:
+        """Ring successors of each key, as an ``(n, count')`` matrix.
+
+        ``count'`` may be smaller than ``count`` when the ring has
+        fewer members (:meth:`successors` truncates identically per
+        key).  Row ``i`` equals ``self.successors(keys[i], count)``.
+        """
+        if not self._points:
+            raise RuntimeError("ring has no workers")
+        width = min(count, len(self._members))
+        table = self._successor_table(width)
+        return table[self._positions(keys)]
+
     def successors(self, key, count: int = 1) -> Tuple[int, ...]:
         """The first ``count`` *distinct* workers clockwise of the key."""
         if not self._points:
             raise RuntimeError("ring has no workers")
-        count = min(count, len(self._members))
+        width = min(count, len(self._members))
+        table = self._successor_table(width)
         h = self._key_hash(key)
         idx = bisect.bisect_right(self._points, h) % len(self._points)
-        out: List[int] = []
-        seen = set()
-        i = idx
-        while len(out) < count:
-            owner = self._owners[i]
-            if owner not in seen:
-                seen.add(owner)
-                out.append(owner)
-            i = (i + 1) % len(self._points)
-        return tuple(out)
+        return tuple(int(w) for w in table[idx])
 
 
 @register(
@@ -154,7 +203,7 @@ class ConsistentKeyGrouping(Partitioner):
     ) -> np.ndarray:
         # Stateless: one ring lookup per distinct key, gathered back.
         codes, unique = factorize(keys)
-        return _successor_matrix(self.ring, unique, 1)[:, 0][codes]
+        return self.ring.successor_matrix(unique, 1)[:, 0][codes]
 
     def candidates(self, key) -> Tuple[int, ...]:
         return self.ring.successors(key, 1)
@@ -212,7 +261,7 @@ class ConsistentPartialKeyGrouping(Partitioner):
         # Ring successors once per distinct key, then the Greedy-d
         # chunk kernel over the gathered candidate matrix.
         codes, unique = factorize(keys)
-        choices = _successor_matrix(self.ring, unique, self.num_choices)[codes]
+        choices = self.ring.successor_matrix(unique, self.num_choices)[codes]
         out = greedy_route_chunk(choices, loads)
         if mirror is not None:
             mirror.add_chunk(np.bincount(out, minlength=self.num_workers))

@@ -12,7 +12,7 @@ migration traffic paid.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,16 @@ from repro.partitioning.base import Partitioner
 )
 class RebalancingKeyGrouping(Partitioner):
     """KG plus periodic migration of the hottest keys.
+
+    Per-key state (message counts and current owners) lives in slot
+    arrays indexed by a key->slot dict, allocated in first-seen order.
+    That representation makes both halves of the scheme chunk-fast:
+    routing an epoch is a gather through the slot table, and a
+    rebalancing round is a vectorized scan of the donor's slots instead
+    of a Python sweep over a per-key dict -- while remaining
+    decision-identical to per-message routing (the tie-break order of
+    equal-count keys *is* the slot order, exactly as dict insertion
+    order tie-broke the old sweep).
 
     Parameters
     ----------
@@ -69,9 +79,24 @@ class RebalancingKeyGrouping(Partitioner):
         self.max_migrations = int(max_migrations_per_rebalance)
 
         self.overrides: Dict = {}          # key -> migrated worker
-        self.key_counts: Dict = {}         # key -> messages seen (its state size)
         self.loads = np.zeros(num_workers, dtype=np.int64)
         self._since_check = 0
+
+        # Per-key slot state, in first-seen order: _slot maps key ->
+        # index into _counts (messages seen = the key's state size) and
+        # _owners (current worker: its hash home, or its override).
+        self._slot: Dict = {}
+        self._slot_keys: List = []
+        self._counts = np.zeros(1024, dtype=np.int64)
+        self._owners = np.zeros(1024, dtype=np.int64)
+
+        # Sorted lookup table over known keys for the chunk path: the
+        # key->slot dict, re-materialized as parallel sorted arrays so a
+        # chunk's distinct keys resolve with one searchsorted instead of
+        # one dict probe each.  Rebuilt lazily whenever the per-message
+        # path allocated behind its back (size mismatch).
+        self._table_keys = np.empty(0, dtype=np.int64)
+        self._table_slots = np.empty(0, dtype=np.int64)
 
         #: number of rebalancing rounds triggered
         self.rebalances = 0
@@ -81,15 +106,43 @@ class RebalancingKeyGrouping(Partitioner):
         #: paper warns about: proportional to the state of moved keys)
         self.migrated_state = 0
 
+    @property
+    def key_counts(self) -> Dict:
+        """Messages seen per key (a snapshot of the slot arrays)."""
+        n = len(self._slot_keys)
+        return dict(zip(self._slot_keys, self._counts[:n].tolist()))
+
     def _home(self, key) -> int:
         return self._hash(key) % self.num_workers
 
+    def _ensure_capacity(self, n: int) -> None:
+        capacity = self._counts.size
+        if n <= capacity:
+            return
+        grow = max(n, 2 * capacity) - capacity
+        self._counts = np.concatenate(
+            [self._counts, np.zeros(grow, dtype=np.int64)]
+        )
+        self._owners = np.concatenate(
+            [self._owners, np.zeros(grow, dtype=np.int64)]
+        )
+
+    def _allocate(self, key, home: int) -> int:
+        slot = len(self._slot_keys)
+        self._ensure_capacity(slot + 1)
+        self._slot[key] = slot
+        self._slot_keys.append(key)
+        self._counts[slot] = 0
+        self._owners[slot] = home
+        return slot
+
     def route(self, key, now: float = 0.0) -> int:
-        worker = self.overrides.get(key)
-        if worker is None:
-            worker = self._home(key)
+        slot = self._slot.get(key)
+        if slot is None:
+            slot = self._allocate(key, self._home(key))
+        worker = int(self._owners[slot])
         self.loads[worker] += 1
-        self.key_counts[key] = self.key_counts.get(key, 0) + 1
+        self._counts[slot] += 1
         self._since_check += 1
         if self._since_check >= self.check_interval:
             self._since_check = 0
@@ -100,38 +153,98 @@ class RebalancingKeyGrouping(Partitioner):
         worker = self.overrides.get(key)
         return (worker if worker is not None else self._home(key),)
 
+    def _chunk_slots(self, unique: np.ndarray, first_idx: np.ndarray) -> np.ndarray:
+        """Slot of every distinct chunk key, allocating unseen ones.
+
+        New keys are allocated in first-appearance order, so slot order
+        keeps matching the order a per-message replay would have first
+        routed them in (the migration round's tie-break).  Keys a
+        rebalance has not yet counted stay invisible to it: their count
+        is still zero.
+        """
+        if self._table_keys.size != len(self._slot_keys):
+            self._rebuild_table()
+        table_keys, table_slots = self._table_keys, self._table_slots
+        if table_keys.size:
+            pos = np.minimum(
+                np.searchsorted(table_keys, unique), table_keys.size - 1
+            )
+            found = table_keys[pos] == unique
+            slots = np.where(found, table_slots[pos], -1)
+        else:
+            slots = np.full(unique.size, -1, dtype=np.int64)
+        new = np.flatnonzero(slots < 0)
+        if new.size:
+            new = new[np.argsort(first_idx[new])]
+            homes = hashed_buckets(self._hash, unique[new], self.num_workers)
+            base = len(self._slot_keys)
+            self._ensure_capacity(base + new.size)
+            new_slots = np.arange(base, base + new.size, dtype=np.int64)
+            self._counts[new_slots] = 0
+            self._owners[new_slots] = homes
+            new_keys = unique[new].tolist()
+            self._slot.update(zip(new_keys, new_slots.tolist()))
+            self._slot_keys.extend(new_keys)
+            slots[new] = new_slots
+            if table_keys.size:
+                merged_keys = np.concatenate([table_keys, unique[new]])
+                merged_slots = np.concatenate([table_slots, new_slots])
+            else:
+                merged_keys, merged_slots = unique[new], new_slots
+            order = np.argsort(merged_keys)
+            self._table_keys = merged_keys[order]
+            self._table_slots = merged_slots[order]
+        return slots
+
+    def _rebuild_table(self) -> None:
+        keys = np.asarray(self._slot_keys)
+        order = np.argsort(keys)
+        self._table_keys = keys[order]
+        self._table_slots = order.astype(np.int64, copy=False)
+
     def route_chunk(
         self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
-        """Chunk loop with home hashing hoisted out.
+        """Route-with-epochs kernel: vectorize between checkpoints.
 
-        Loads are mirrored in a plain list between rebalance checks and
-        synced back to the numpy vector whenever ``_maybe_rebalance``
-        runs (it reads *and* migrates ``self.loads``), so decisions and
-        migration rounds match the per-message path exactly.
+        Between two rebalance checkpoints the routing function is
+        *frozen* -- per-message state updates (loads, key counts) feed
+        only the next checkpoint's decision, never the current epoch's
+        routing.  So the chunk is processed as whole epochs: gather the
+        per-unique owner table through the code array, bulk-update
+        loads and counts via bincount, and only at a checkpoint run the
+        same ``_maybe_rebalance`` the per-message path runs (regathering
+        the owner table iff keys actually migrated).
         """
         arr = as_key_array(keys)
-        homes = hashed_buckets(self._hash, arr, self.num_workers).tolist()
-        key_list = arr.tolist()
-        out = np.empty(len(key_list), dtype=np.int64)
-        overrides, key_counts = self.overrides, self.key_counts
-        load_list = self.loads.tolist()
-        since, interval = self._since_check, self.check_interval
-        for i, key in enumerate(key_list):
-            worker = overrides.get(key)
-            if worker is None:
-                worker = homes[i]
-            load_list[worker] += 1
-            key_counts[key] = key_counts.get(key, 0) + 1
-            since += 1
-            if since >= interval:
-                since = 0
-                self.loads[:] = load_list
+        m = int(arr.size)
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        unique, first_idx, codes = np.unique(
+            arr, return_index=True, return_inverse=True
+        )
+        codes = codes.astype(np.int64, copy=False).reshape(-1)
+        slots_u = self._chunk_slots(unique, first_idx)
+        worker_u = self._owners[slots_u]
+
+        out = np.empty(m, dtype=np.int64)
+        start = 0
+        while start < m:
+            stop = min(m, start + self.check_interval - self._since_check)
+            segment = codes[start:stop]
+            segment_workers = worker_u[segment]
+            out[start:stop] = segment_workers
+            self.loads += np.bincount(segment_workers, minlength=self.num_workers)
+            # slots_u entries are distinct, so fancy-index += is exact.
+            self._counts[slots_u] += np.bincount(segment, minlength=slots_u.size)
+            self._since_check += stop - start
+            start = stop
+            if self._since_check >= self.check_interval:
+                self._since_check = 0
+                migrations = self.migrations
                 self._maybe_rebalance()
-                load_list = self.loads.tolist()
-            out[i] = worker
-        self.loads[:] = load_list
-        self._since_check = since
+                if self.migrations != migrations:
+                    worker_u = self._owners[slots_u]
         return out
 
     def _maybe_rebalance(self) -> None:
@@ -149,35 +262,55 @@ class RebalancingKeyGrouping(Partitioner):
         receiver = int(np.argmin(self.loads))
         if donor == receiver:
             return
-        donor_keys = [
-            (count, key)
-            for key, count in self.key_counts.items()
-            if (self.overrides.get(key, self._home(key))) == donor
-        ]
-        donor_keys.sort(key=lambda ck: -ck[0])
+        n = len(self._slot_keys)
+        counts = self._counts[:n]
+        candidates = np.flatnonzero(
+            (self._owners[:n] == donor) & (counts > 0)
+        )
+        if candidates.size == 0:
+            return
+        # Hottest first; stable argsort keeps slot (= first-seen) order
+        # among equal counts.  A key moves only if it does not overshoot
+        # (2*count <= donor-receiver gap); skipped keys stay skipped
+        # because the gap only shrinks, so a monotone searchsorted walk
+        # over the descending counts replaces the per-key sweep.
+        order = candidates[np.argsort(-counts[candidates], kind="stable")]
+        weight = 2 * counts[order]  # descending; -weight is ascending
         moved = 0
-        for count, key in donor_keys:
-            if moved >= self.max_migrations:
+        position = 0
+        while moved < self.max_migrations and position < order.size:
+            gap = int(self.loads[donor]) - int(self.loads[receiver])
+            position = max(
+                position, int(np.searchsorted(-weight, -gap, side="left"))
+            )
+            if position >= order.size:
                 break
-            if self.loads[donor] - count < self.loads[receiver] + count:
-                # Moving this key would overshoot; try a lighter one.
-                continue
+            slot = int(order[position])
+            count = int(counts[slot])
+            key = self._slot_keys[slot]
             self.overrides[key] = receiver
+            self._owners[slot] = receiver
             self.loads[donor] -= count
             self.loads[receiver] += count
             self.migrations += 1
             self.migrated_state += count
             moved += 1
+            position += 1
 
     def memory_entries(self) -> int:
         # The migration mechanism must track per-key counts *and* the
         # override table -- exactly the staggering memory requirement
         # Section II-B objects to.
-        return len(self.key_counts) + len(self.overrides)
+        return len(self._slot) + len(self.overrides)
 
     def reset(self) -> None:
         self.overrides.clear()
-        self.key_counts.clear()
         self.loads[:] = 0
         self._since_check = 0
+        self._slot.clear()
+        self._slot_keys.clear()
+        self._counts = np.zeros(1024, dtype=np.int64)
+        self._owners = np.zeros(1024, dtype=np.int64)
+        self._table_keys = np.empty(0, dtype=np.int64)
+        self._table_slots = np.empty(0, dtype=np.int64)
         self.rebalances = self.migrations = self.migrated_state = 0

@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAMES",
                        help="comma-separated subset, or 'all' (default: all of "
                             + ", ".join(harness_names()) + ")")
+    run_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for grid sweeps (default: "
+                            "REPRO_PARALLEL or cpu count; results are "
+                            "identical at any job count)")
     run_p.add_argument("--out", default=DEFAULT_RESULTS_DIR,
                        help="artifact directory (default: results/)")
     run_p.add_argument("--bench-out", default=".",
@@ -101,20 +105,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    import time
+
     config = reduced_config(args.scale, seed=args.seed)
+    start = time.perf_counter()
     artifacts = run_experiments(
         names=args.experiments,
         config=config,
         out_dir=args.out,
         progress=lambda line: print(line, flush=True),
+        jobs=args.jobs,
     )
+    wall_clock = time.perf_counter() - start
     if not args.no_bench:
         path = write_bench_snapshot(
             "experiments",
-            bench_entries_from_artifacts(artifacts),
+            bench_entries_from_artifacts(
+                artifacts, sweep_wall_clock_seconds=wall_clock, jobs=args.jobs
+            ),
             directory=args.bench_out,
         )
-        print(f"wrote {path}")
+        print(f"wrote {path} (sweep wall clock {wall_clock:.1f}s)")
     return 0
 
 

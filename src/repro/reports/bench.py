@@ -89,6 +89,7 @@ def write_bench_snapshot(
         "results": jsonify(sorted(results, key=lambda e: e["name"])),
     }
     path = bench_path(suite, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
     try:
         text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
     except ValueError as exc:

@@ -173,22 +173,39 @@ def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
     Every result entry's ``keys_per_second`` becomes one
     higher-is-better metric named ``<scheme>.keys_per_second``, so the
     standard diff gate (tolerance, direction, exit code) applies to
-    throughput trajectories unchanged.
+    throughput trajectories unchanged.  Suite-level entries carrying
+    ``sweep_wall_clock_seconds`` (the experiments-sweep wall clock
+    written by ``repro.reports run``) become lower-is-better metrics,
+    so the parallel executor's end-to-end time is gated the same way.
     """
     manifest = data.get("manifest", {}) or {}
     metrics = []
     for entry in data.get("results", []):
         if not isinstance(entry, dict) or not entry.get("name"):
             continue
-        if "keys_per_second" not in entry:
-            continue
-        metrics.append(
-            Metric(
-                name=f"{entry['name']}.keys_per_second",
-                value=float(entry["keys_per_second"]),
-                direction="higher",
+        if "keys_per_second" in entry:
+            metrics.append(
+                Metric(
+                    name=f"{entry['name']}.keys_per_second",
+                    value=float(entry["keys_per_second"]),
+                    direction="higher",
+                )
             )
-        )
+        if "sweep_wall_clock_seconds" in entry:
+            # The job count is part of the metric name: wall clocks are
+            # only like-for-like at the same fan-out width, so runs at
+            # different widths diff as added/removed (informational)
+            # instead of as regressions.
+            name = f"{entry['name']}.sweep_wall_clock_seconds"
+            if entry.get("jobs") is not None:
+                name = f"{name}@jobs={int(entry['jobs'])}"
+            metrics.append(
+                Metric(
+                    name=name,
+                    value=float(entry["sweep_wall_clock_seconds"]),
+                    direction="lower",
+                )
+            )
     return ExperimentArtifact(
         experiment=f"bench-{data.get('suite', 'unknown')}",
         paper_section="",

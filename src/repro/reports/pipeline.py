@@ -12,6 +12,7 @@ trajectory accumulates PR over PR.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
@@ -60,13 +61,20 @@ def run_experiments(
     config: Optional[ExperimentConfig] = None,
     out_dir=DEFAULT_RESULTS_DIR,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentArtifact]:
     """Run harnesses and write one artifact per experiment.
 
     Returns the artifacts keyed by experiment name.  ``progress`` (if
     given) receives one human-readable line per completed experiment.
+    ``jobs`` (the ``--jobs`` CLI flag) overrides ``config.jobs``: each
+    harness fans its grid cells out over that many worker processes via
+    :mod:`repro.core.parallel`.  Artifacts are identical at any job
+    count (modulo the wall-clock fields of their manifests).
     """
     config = config or ExperimentConfig()
+    if jobs is not None:
+        config = replace(config, jobs=int(jobs))
     names = list(names) if names else harness_names()
     sha = git_sha()
     created = utc_now_iso()
@@ -93,11 +101,23 @@ def run_experiments(
     return artifacts
 
 
+#: name of the suite-level entry in BENCH_experiments.json
+SUITE_ENTRY = "_sweep"
+
+
 def bench_entries_from_artifacts(
     artifacts: Dict[str, ExperimentArtifact],
+    sweep_wall_clock_seconds: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> List[dict]:
-    """Per-experiment wall-clock timings for ``BENCH_experiments.json``."""
-    return [
+    """Per-experiment wall-clock timings for ``BENCH_experiments.json``.
+
+    When ``sweep_wall_clock_seconds`` is given, a suite-level entry
+    (:data:`SUITE_ENTRY`) records the end-to-end sweep wall clock and
+    the job count it ran with -- the perf-trajectory metric for the
+    parallel executor.
+    """
+    entries = [
         {
             "name": name,
             "duration_seconds": artifacts[name].manifest.duration_seconds,
@@ -105,3 +125,18 @@ def bench_entries_from_artifacts(
         }
         for name in sorted(artifacts)
     ]
+    if sweep_wall_clock_seconds is not None:
+        from repro.core.parallel import effective_jobs
+
+        entries.append(
+            {
+                "name": SUITE_ENTRY,
+                "sweep_wall_clock_seconds": float(sweep_wall_clock_seconds),
+                # The width the sweep really ran at: pool-availability
+                # corrected, so a sandboxed serial fallback is not
+                # recorded as a parallel measurement.
+                "jobs": effective_jobs(jobs),
+                "experiments": len(artifacts),
+            }
+        )
+    return entries

@@ -40,6 +40,11 @@ from repro.streams.distributions import (
 from repro.streams.drift import DriftingKeyStream
 
 
+#: Memoized stationary distributions, keyed by every spec field the
+#: distribution depends on (see DatasetSpec.distribution).
+_DISTRIBUTION_CACHE: Dict[tuple, "KeyDistribution"] = {}
+
+
 @dataclass(frozen=True)
 class DatasetSpec:
     """Specification of one Table I dataset and its synthetic equivalent.
@@ -79,7 +84,26 @@ class DatasetSpec:
         so the whole-stream (Table I) head probability is diluted by
         roughly the number of distinct heads; the boost compensates so
         the measured global p1 matches the paper.
+
+        Memoized on the fields it reads: distributions are stateless
+        parameter objects (sampling takes an external rng), and the
+        Zipf-exponent calibration is iterative -- sweep cells calling
+        this per cell must not each pay for it.
         """
+        key = (
+            self.kind,
+            self.paper_p1_percent,
+            self.num_keys,
+            tuple(sorted(self.params.items())),
+        )
+        cached = _DISTRIBUTION_CACHE.get(key)
+        if cached is not None:
+            return cached
+        dist = self._build_distribution()
+        _DISTRIBUTION_CACHE[key] = dist
+        return dist
+
+    def _build_distribution(self) -> KeyDistribution:
         target_p1 = self.paper_p1_percent / 100.0
         if self.kind == "drift":
             target_p1 = min(0.99, target_p1 * float(self.params.get("p1_boost", 1.0)))

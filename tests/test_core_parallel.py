@@ -1,0 +1,169 @@
+"""The deterministic sweep executor: repro.core.parallel."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import (
+    _Publication,
+    clear_stream_cache,
+    dataset_stream_cached,
+    edge_stream_cached,
+    effective_jobs,
+    materialized_stream,
+    parallel_map,
+    resolve_jobs,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_stream_cache()
+    yield
+    clear_stream_cache()
+
+
+class TestResolveJobs:
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_explicit_jobs_win_over_env_number(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "7")
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs() == 7
+
+    def test_env_zero_forces_serial_over_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert resolve_jobs() == 1
+        assert resolve_jobs(8) == 1
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "lots")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_oserror(x):
+    raise FileNotFoundError(f"missing {x}")
+
+
+def _route_cell(cell):
+    """A realistic cell: route a cached stream through a partitioner."""
+    from repro.api import make_partitioner
+    from repro.core.engine import route_chunked
+
+    scheme, w, seed = cell
+    keys = dataset_stream_cached("WP", 20_000, seed)
+    assignments = route_chunked(keys, make_partitioner(scheme, w, seed=seed))
+    return np.bincount(assignments, minlength=w).tolist()
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(_square, range(50), jobs=4) == [
+            x * x for x in range(50)
+        ]
+
+    def test_serial_forced_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert parallel_map(_square, [3, 1, 2], jobs=4) == [9, 1, 4]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_parallel_equals_serial_on_routing_cells(self):
+        cells = [("pkg", 8, 1), ("kg", 4, 2), ("least-loaded", 8, 1),
+                 ("pkg", 8, 2), ("sg", 8, 1)]
+        streams = [("dataset", "WP", 20_000, 1), ("dataset", "WP", 20_000, 2)]
+        serial = parallel_map(_route_cell, cells, jobs=1, streams=streams)
+        parallel = parallel_map(_route_cell, cells, jobs=4, streams=streams)
+        assert serial == parallel
+
+    def test_blocked_spawn_falls_back_to_serial(self, monkeypatch):
+        # BaseProcess.start is what every start-method's Process class
+        # inherits (ForkProcess does NOT subclass context.Process).
+        import multiprocessing.process
+
+        import repro.core.parallel as mod
+
+        def blocked(self, *args, **kwargs):
+            raise PermissionError("process creation blocked")
+
+        monkeypatch.setattr(
+            multiprocessing.process.BaseProcess, "start", blocked
+        )
+        monkeypatch.setattr(mod, "_POOL_USABLE", None)
+        assert parallel_map(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+        # ...and the fallback is remembered as the effective width.
+        assert mod.pool_usable() is False
+        assert effective_jobs(4) == 1
+
+    def test_worker_exception_propagates(self):
+        # An OSError raised by the cell fn itself must not be mistaken
+        # for "process creation unavailable" and silently retried.
+        with pytest.raises(FileNotFoundError):
+            parallel_map(_raise_oserror, [1, 2, 3], jobs=2)
+
+    def test_effective_jobs_matches_resolution_when_pool_works(
+        self, monkeypatch
+    ):
+        import repro.core.parallel as mod
+
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        monkeypatch.setattr(mod, "_POOL_USABLE", True)
+        assert effective_jobs(3) == 3
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert effective_jobs(3) == 1
+
+
+class TestStreamCache:
+    def test_dataset_cached_identity(self):
+        a = dataset_stream_cached("WP", 15_000, 3)
+        b = dataset_stream_cached("wp", 15_000, 3)
+        assert a is b  # symbol normalised, one materialization
+
+    def test_dataset_matches_direct_generation(self):
+        from repro.streams.datasets import dataset_stream
+
+        cached = dataset_stream_cached("CT", 12_000, 5)
+        assert np.array_equal(cached, dataset_stream("CT", 12_000, seed=5))
+
+    def test_edges_match_direct_generation(self):
+        from repro.streams.graphs import EdgeStream
+
+        src, dst = edge_stream_cached(5_000, 4)
+        direct = EdgeStream.generate(5_000, seed=4)
+        assert np.array_equal(src, direct.source_keys)
+        assert np.array_equal(dst, direct.worker_keys)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown stream kind"):
+            materialized_stream(("nope", 1))
+
+    def test_publication_round_trip(self):
+        key = ("dataset", "WP", 10_000, 9)
+        original = materialized_stream(key)[0]
+        publication = _Publication([key])
+        try:
+            if not publication.descriptors:
+                pytest.skip("shared memory unavailable in this sandbox")
+            # Re-attach the shared copy the way a worker would.
+            from repro.core import parallel as mod
+
+            mod._SHARED_DESCRIPTORS.update(publication.descriptors)
+            mod._CACHE.clear()
+            attached = materialized_stream(key)[0]
+            assert not attached.flags.writeable
+            assert np.array_equal(attached, original)
+            clear_stream_cache()  # detach before the parent unlinks
+        finally:
+            publication.release()

@@ -1,0 +1,65 @@
+"""Parallel sweeps must be byte-identical to serial ones.
+
+The acceptance contract of the sweep executor: for any job count, the
+JSON artifacts `repro.reports run` writes are identical to the serial
+run's modulo the manifest's wall-clock fields (created/sha/duration).
+Crossed with ``REPRO_NO_NATIVE`` because the native kernels and the
+pure-Python chunk loops must themselves be decision-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.core.parallel import clear_stream_cache
+from repro.reports.pipeline import reduced_config, run_experiments
+
+#: Cheap but representative slice of the grid: an ablation sweep, a
+#: scheme x W x dataset grid, and the edge-stream (skewed sources) grid.
+EXPERIMENTS = ["dchoices", "fig4"]
+
+
+def normalized(artifact) -> str:
+    """Artifact JSON with the run-specific manifest dropped."""
+    data = artifact.to_json_dict()
+    data["manifest"] = None
+    return json.dumps(data, indent=2, sort_keys=True, allow_nan=False)
+
+
+def run_normalized(tmp_path, jobs, subdir):
+    clear_stream_cache()
+    artifacts = run_experiments(
+        EXPERIMENTS,
+        config=reduced_config(0.02, seed=11),
+        out_dir=tmp_path / subdir,
+        jobs=jobs,
+    )
+    return {name: normalized(a) for name, a in artifacts.items()}
+
+
+@pytest.mark.parametrize("no_native", ["0", "1"], ids=["native", "pure-python"])
+def test_jobs_grid_byte_identical(tmp_path, monkeypatch, no_native):
+    monkeypatch.setenv("REPRO_NO_NATIVE", no_native)
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    baseline = run_normalized(tmp_path, 1, "jobs1")
+    for jobs in (2, 4):
+        candidate = run_normalized(tmp_path, jobs, f"jobs{jobs}")
+        assert candidate == baseline, f"jobs={jobs} diverged from serial"
+
+
+def test_env_serial_equals_explicit_serial(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "0")
+    forced = run_normalized(tmp_path, 4, "forced")  # env must win
+    monkeypatch.delenv("REPRO_PARALLEL")
+    serial = run_normalized(tmp_path, 1, "serial")
+    assert forced == serial
+
+
+def test_native_and_pure_python_agree(tmp_path, monkeypatch):
+    # The cross-check the jobs grid relies on: kernels and fallbacks
+    # route identically, so the parallel matrix collapses to one truth.
+    monkeypatch.setenv("REPRO_NO_NATIVE", "0")
+    native = run_normalized(tmp_path, 2, "native")
+    monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+    pure = run_normalized(tmp_path, 2, "pure")
+    assert native == pure

@@ -1,0 +1,164 @@
+"""Chunk kernels added for the last slow schemes: ring lookup tables
+and the rebalancing route-with-epochs kernel.
+
+Every test pins the vectorized paths to a per-message reference --
+the chunk equivalence contract of ``Partitioner.route_chunk``.
+"""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.core.engine import route_chunked
+from repro.partitioning.consistent import (
+    ConsistentKeyGrouping,
+    ConsistentPartialKeyGrouping,
+    HashRing,
+)
+from repro.partitioning.rebalancing import RebalancingKeyGrouping
+
+
+def walk_successors(ring, key, count):
+    """The original per-key ring walk, kept here as the oracle."""
+    count = min(count, len(ring.workers))
+    h = ring._key_hash(key)
+    idx = bisect.bisect_right(ring._points, h) % len(ring._points)
+    out, seen, i = [], set(), idx
+    while len(out) < count:
+        owner = ring._owners[i]
+        if owner not in seen:
+            seen.add(owner)
+            out.append(owner)
+        i = (i + 1) % len(ring._points)
+    return tuple(out)
+
+
+class TestHashRingTables:
+    @pytest.mark.parametrize("count", [1, 2, 3, 9, 15])
+    def test_successor_matrix_matches_walk(self, count):
+        ring = HashRing(9, virtual_nodes=32, seed=5)
+        keys = np.random.default_rng(1).integers(-1000, 10**12, size=1500)
+        matrix = ring.successor_matrix(keys, count)
+        assert matrix.shape == (keys.size, min(count, 9))
+        for i, key in enumerate(keys.tolist()):
+            expected = walk_successors(ring, key, count)
+            assert tuple(matrix[i]) == expected
+            assert ring.successors(key, count) == expected
+
+    def test_string_keys_match_walk(self):
+        ring = HashRing(6, virtual_nodes=16, seed=2)
+        keys = np.array([f"key-{i % 131}" for i in range(400)])
+        matrix = ring.successor_matrix(keys, 2)
+        for i, key in enumerate(keys.tolist()):
+            assert tuple(matrix[i]) == walk_successors(ring, key, 2)
+
+    def test_membership_changes_invalidate_tables(self):
+        ring = HashRing(8, virtual_nodes=16, seed=7)
+        keys = np.arange(500, dtype=np.int64)
+        before = ring.successor_matrix(keys, 2).copy()
+        ring.remove_worker(2)
+        after_removal = ring.successor_matrix(keys, 2)
+        assert 2 not in set(after_removal.ravel().tolist())
+        for i, key in enumerate(keys.tolist()):
+            assert tuple(after_removal[i]) == walk_successors(ring, key, 2)
+        ring.add_worker(2)
+        assert np.array_equal(ring.successor_matrix(keys, 2), before)
+
+
+class TestConsistentChunkEquivalence:
+    @pytest.mark.parametrize("cls", [ConsistentKeyGrouping,
+                                     ConsistentPartialKeyGrouping])
+    def test_chunk_matches_per_message(self, cls):
+        keys = np.random.default_rng(3).zipf(1.4, size=8_000) % 5_000
+        chunked = route_chunked(keys, cls(10, seed=4), chunk_size=1_111)
+        reference = cls(10, seed=4)
+        expected = np.array([reference.route(k) for k in keys.tolist()])
+        assert np.array_equal(chunked, expected)
+
+    def test_chunk_after_elastic_resize(self):
+        keys = np.random.default_rng(8).integers(0, 2_000, size=6_000)
+        a = ConsistentPartialKeyGrouping(10, seed=6)
+        b = ConsistentPartialKeyGrouping(10, seed=6)
+        for p in (a, b):
+            p.remove_worker(7)
+        chunked = a.route_chunk(keys)
+        expected = np.array([b.route(k) for k in keys.tolist()])
+        assert np.array_equal(chunked, expected)
+        assert 7 not in set(chunked.tolist())
+
+
+REBALANCE_KW = dict(
+    check_interval=1_000,
+    imbalance_threshold=0.05,
+    max_migrations_per_rebalance=4,
+    seed=1,
+)
+
+
+def zipf_stream(n, seed=7):
+    return np.random.default_rng(seed).zipf(1.3, size=n) % 3_000
+
+
+class TestRebalancingEpochKernel:
+    def test_chunk_matches_per_message_with_migrations(self):
+        keys = zipf_stream(40_000)
+        a = RebalancingKeyGrouping(8, **REBALANCE_KW)
+        b = RebalancingKeyGrouping(8, **REBALANCE_KW)
+        expected = np.array([a.route(k) for k in keys.tolist()])
+        # Odd chunk size so epochs straddle chunk boundaries.
+        chunked = route_chunked(keys, b, chunk_size=7_777)
+        assert a.rebalances > 0 and a.migrations > 0  # scenario is real
+        assert np.array_equal(chunked, expected)
+        assert a.rebalances == b.rebalances
+        assert a.migrations == b.migrations
+        assert a.migrated_state == b.migrated_state
+        assert a.overrides == b.overrides
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_key_count_state_identical(self):
+        keys = zipf_stream(15_000, seed=9)
+        a = RebalancingKeyGrouping(6, **REBALANCE_KW)
+        b = RebalancingKeyGrouping(6, **REBALANCE_KW)
+        for k in keys.tolist():
+            a.route(k)
+        b.route_chunk(keys)
+        assert a.key_counts == b.key_counts
+        # Insertion order is the migration tie-break; it must match too.
+        assert list(a.key_counts) == list(b.key_counts)
+        assert a.memory_entries() == b.memory_entries()
+
+    def test_mixed_granularity(self):
+        keys = zipf_stream(20_000, seed=4)
+        a = RebalancingKeyGrouping(8, **REBALANCE_KW)
+        b = RebalancingKeyGrouping(8, **REBALANCE_KW)
+        expected = np.array([a.route(k) for k in keys.tolist()])
+        got = []
+        got.extend(b.route(k) for k in keys[:300].tolist())
+        got.extend(b.route_chunk(keys[300:12_500]).tolist())
+        got.extend(b.route(k) for k in keys[12_500:12_600].tolist())
+        got.extend(b.route_chunk(keys[12_600:]).tolist())
+        assert np.array_equal(np.array(got), expected)
+        assert a.overrides == b.overrides
+
+    def test_string_keys(self):
+        keys = np.array([f"k{i % 211}" for i in range(9_000)])
+        a = RebalancingKeyGrouping(5, check_interval=500,
+                                   imbalance_threshold=0.01,
+                                   max_migrations_per_rebalance=3, seed=2)
+        b = RebalancingKeyGrouping(5, check_interval=500,
+                                   imbalance_threshold=0.01,
+                                   max_migrations_per_rebalance=3, seed=2)
+        expected = np.array([a.route(k) for k in keys.tolist()])
+        assert np.array_equal(route_chunked(keys, b, chunk_size=2_000), expected)
+        assert a.key_counts == b.key_counts and a.overrides == b.overrides
+
+    def test_reset_clears_slot_state(self):
+        p = RebalancingKeyGrouping(4, **REBALANCE_KW)
+        p.route_chunk(zipf_stream(5_000))
+        assert p.memory_entries() > 0
+        p.reset()
+        assert p.memory_entries() == 0 and p.key_counts == {}
+        assert p.loads.sum() == 0 and p.rebalances == 0
+        # Still routable after reset.
+        assert p.route_chunk(np.arange(10, dtype=np.int64)).size == 10

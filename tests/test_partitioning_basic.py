@@ -116,6 +116,18 @@ class TestRouteStreamDeprecation:
             routed = kg.route_stream(keys)
         assert np.array_equal(routed, KeyGrouping(6, seed=1).route_chunk(keys))
 
+    def test_route_stream_warning_points_at_caller(self):
+        # stacklevel must attribute the deprecation to the *calling*
+        # file, not to partitioning/base.py, so migration is greppable.
+        import warnings
+
+        kg = KeyGrouping(3, seed=0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kg.route_stream(np.arange(10, dtype=np.int64))
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
     def test_route_stream_honours_timestamps(self):
         from repro.load import ProbingLoadEstimator, WorkerLoadRegistry
         from repro.partitioning import PartialKeyGrouping

@@ -38,8 +38,20 @@ class TestRun:
         assert a.metrics and a.summary
         bench = load_bench_snapshot(run_dir / "BENCH_experiments.json")
         assert bench["suite"] == "experiments"
-        assert [e["name"] for e in bench["results"]] == ["table1"]
-        assert bench["results"][0]["duration_seconds"] > 0
+        assert [e["name"] for e in bench["results"]] == ["_sweep", "table1"]
+        by_name = {e["name"]: e for e in bench["results"]}
+        assert by_name["table1"]["duration_seconds"] > 0
+        sweep = by_name["_sweep"]
+        assert sweep["sweep_wall_clock_seconds"] > 0
+        assert sweep["jobs"] >= 1 and sweep["experiments"] == 1
+        # The wall clock is gated per fan-out width: the metric name
+        # carries the jobs tag so unlike-for-unlike runs never diff as
+        # regressions.
+        from repro.reports.diffing import bench_snapshot_artifact
+
+        metrics = bench_snapshot_artifact(bench).metric_map()
+        key = f"_sweep.sweep_wall_clock_seconds@jobs={sweep['jobs']}"
+        assert metrics[key].direction == "lower"
 
     def test_unknown_experiment_rejected(self, tmp_path, capsys):
         with pytest.raises(SystemExit):
