@@ -77,6 +77,7 @@ and replace any private name->constructor tables with
 from __future__ import annotations
 
 import importlib
+from typing import Any, Dict, List
 
 from repro.api.registry import (
     SchemeInfo,
@@ -91,7 +92,7 @@ from repro.api.registry import (
 #: attribute -> defining module, resolved lazily (PEP 562) so that the
 #: partitioner modules can import ``repro.api.registry`` during their own
 #: definition without dragging the dspe/simulation stack into the cycle.
-_LAZY_EXPORTS = {
+_LAZY_EXPORTS: Dict[str, str] = {
     "Topology": "repro.api.topology",
     "TopologyError": "repro.api.topology",
     "run": "repro.api.facade",
@@ -124,7 +125,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module = _LAZY_EXPORTS.get(name)
     if module is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -133,5 +134,5 @@ def __getattr__(name: str):
     return value
 
 
-def __dir__():
+def __dir__() -> List[str]:
     return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -16,11 +16,18 @@ same package's :class:`~repro.core.engine.EventLoop`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
 from repro.api.registry import make_partitioner
+
+if TYPE_CHECKING:
+    from repro.api.topology import Topology
+    from repro.dspe.metrics import RunMetrics
+    from repro.partitioning.base import Partitioner
+    from repro.simulation.runner import SimulationResult
+    from repro.streams.distributions import KeyDistribution
 
 __all__ = ["RunResult", "run"]
 
@@ -72,7 +79,9 @@ class RunResult:
         return self.final_imbalance / self.num_messages
 
     @classmethod
-    def from_simulation(cls, sim, memory_entries: Optional[int] = None):
+    def from_simulation(
+        cls, sim: "SimulationResult", memory_entries: Optional[int] = None
+    ) -> "RunResult":
         """Wrap a frequency-only :class:`SimulationResult`."""
         return cls(
             scheme=sim.scheme,
@@ -92,7 +101,7 @@ class RunResult:
         )
 
     @classmethod
-    def from_metrics(cls, metrics, num_sources: int = 1):
+    def from_metrics(cls, metrics: "RunMetrics", num_sources: int = 1) -> "RunResult":
         """Wrap a DSPE :class:`~repro.dspe.metrics.RunMetrics`.
 
         The cluster simulator reports final loads only, so
@@ -136,7 +145,9 @@ class RunResult:
         return " ".join(parts)
 
 
-def _resolve_distribution(distribution, dataset: Optional[str]):
+def _resolve_distribution(
+    distribution: Union[str, "KeyDistribution", None], dataset: Optional[str]
+) -> Optional["KeyDistribution"]:
     """Normalise the (distribution, dataset) pair to a KeyDistribution."""
     from repro.streams.datasets import get_dataset
 
@@ -150,10 +161,10 @@ def _resolve_distribution(distribution, dataset: Optional[str]):
 
 
 def run(
-    target,
+    target: Union[str, "Partitioner", Type["Partitioner"], "Topology"],
     *,
-    keys: Optional[Sequence] = None,
-    distribution=None,
+    keys: Optional[Sequence[Any]] = None,
+    distribution: Union[str, "KeyDistribution", None] = None,
     dataset: Optional[str] = None,
     num_messages: Optional[int] = None,
     num_workers: Optional[int] = None,
@@ -162,7 +173,7 @@ def run(
     num_checkpoints: Optional[int] = None,
     timestamps: Optional[Sequence[float]] = None,
     keep_assignments: bool = False,
-    **scheme_kwargs,
+    **scheme_kwargs: Any,
 ) -> RunResult:
     """Run one experiment and return a unified :class:`RunResult`.
 
@@ -242,15 +253,16 @@ def run(
                 "provide keys, or a distribution/dataset to sample from"
             )
         n = 100_000 if num_messages is None else int(num_messages)
-        keys = dist.sample(n, np.random.default_rng(seed))
+        key_array = dist.sample(n, np.random.default_rng(seed))
     elif distribution is not None or dataset is not None:
         raise ValueError("pass either keys or a distribution/dataset, not both")
-    keys = np.asarray(keys)
+    else:
+        key_array = np.asarray(keys)
 
     if num_sources <= 1:
         partitioner = make_partitioner(target, num_workers, seed=seed, **scheme_kwargs)
         sim = simulate_stream(
-            keys,
+            key_array,
             partitioner,
             timestamps=timestamps,
             num_checkpoints=num_checkpoints,
@@ -265,7 +277,7 @@ def run(
             "multi-source runs need one partitioner per source; pass a "
             "scheme name or spec string instead of a built instance"
         )
-    instances = []
+    instances: List[Partitioner] = []
 
     def per_source(_s: int) -> Partitioner:
         p = make_partitioner(target, num_workers, seed=seed, **scheme_kwargs)
@@ -273,7 +285,7 @@ def run(
         return p
 
     sim = simulate_partitioner_per_source(
-        keys,
+        key_array,
         per_source,
         num_workers,
         num_sources=num_sources,

@@ -29,7 +29,24 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.partitioning.base import Partitioner
+
+#: the decorated class, returned unchanged by @register.
+_ClassT = TypeVar("_ClassT", bound=type)
 
 __all__ = [
     "SchemeInfo",
@@ -63,7 +80,7 @@ class SchemeInfo:
         return "seed" in self._parameters
 
     @property
-    def _parameters(self) -> Mapping[str, inspect.Parameter]:
+    def _parameters(self) -> Mapping[str, "inspect.Parameter"]:
         try:
             return inspect.signature(self.factory).parameters
         except (TypeError, ValueError):  # builtins without signatures
@@ -87,7 +104,7 @@ def register(
     aliases: Tuple[str, ...] = (),
     params: Optional[Mapping[str, str]] = None,
     description: str = "",
-) -> Callable:
+) -> Callable[[_ClassT], _ClassT]:
     """Class decorator registering a :class:`Partitioner` under ``name``.
 
     Parameters
@@ -104,7 +121,7 @@ def register(
         consumers and error messages).
     """
 
-    def decorate(cls):
+    def decorate(cls: _ClassT) -> _ClassT:
         info = SchemeInfo(
             name=name.lower(),
             factory=cls,
@@ -205,7 +222,12 @@ def scheme_info(name: str) -> SchemeInfo:
     return _REGISTRY[resolve_scheme_name(name)]
 
 
-def make_partitioner(spec, num_workers: int, seed: int = 0, **kwargs):
+def make_partitioner(
+    spec: Union[str, "Partitioner", Type["Partitioner"]],
+    num_workers: int,
+    seed: int = 0,
+    **kwargs: Any,
+) -> "Partitioner":
     """Build a partitioner from a spec string, name, class, or instance.
 
     Parameters
@@ -243,6 +265,7 @@ def make_partitioner(spec, num_workers: int, seed: int = 0, **kwargs):
 
     _ensure_builtin_schemes()
 
+    spec_params: Dict[str, Any]
     if isinstance(spec, type) and issubclass(spec, Partitioner):
         infos = [i for i in _REGISTRY.values() if i.factory is spec]
         if not infos:

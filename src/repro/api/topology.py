@@ -23,9 +23,29 @@ worker count, duration vs warmup, ...) are checked at :meth:`build`.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Type,
+    Union,
+)
 
 from repro.api.registry import make_partitioner, resolve_scheme_name
+
+if TYPE_CHECKING:
+    from repro.api.facade import RunResult
+    from repro.dspe.topology import ClusterConfig, WordCountCluster
+    from repro.partitioning.base import Partitioner
+    from repro.streams.distributions import KeyDistribution
+
+#: what .partition_by()/.source() accept: spec/name, class, or instance.
+_SchemeArg = Union[str, "Partitioner", Type["Partitioner"]]
+_SourceArg = Union[str, "KeyDistribution"]
 
 __all__ = ["Topology", "TopologyError"]
 
@@ -38,11 +58,11 @@ class Topology:
     """Fluent builder for spout -> workers (-> aggregator) clusters."""
 
     def __init__(self) -> None:
-        self._source = None
+        self._source: Optional[_SourceArg] = None
         self._num_spouts = 1
-        self._scheme: Union[str, object] = "pkg"
-        self._scheme_kwargs: dict = {}
-        self._partitioner = None  # explicit instance injection
+        self._scheme: _SchemeArg = "pkg"
+        self._scheme_kwargs: Dict[str, Any] = {}
+        self._partitioner: Optional["Partitioner"] = None  # instance injection
         self._num_workers = 9
         self._cpu_delay = 0.4e-3
         self._worker_delays: Optional[List[float]] = None
@@ -60,7 +80,7 @@ class Topology:
 
     # ---------------------------------------------------------- sources
 
-    def source(self, distribution) -> "Topology":
+    def source(self, distribution: _SourceArg) -> "Topology":
         """Key source: a ``KeyDistribution`` or a Table I dataset symbol."""
         if distribution is None:
             raise TopologyError("source distribution must not be None")
@@ -76,7 +96,7 @@ class Topology:
 
     # ----------------------------------------------------- partitioning
 
-    def partition_by(self, scheme, **kwargs) -> "Topology":
+    def partition_by(self, scheme: _SchemeArg, **kwargs: Any) -> "Topology":
         """Partitioning scheme: spec string, name, class, or instance.
 
         Spec strings go through the registry (``"pkg:d=3"``); keyword
@@ -125,7 +145,7 @@ class Topology:
                 raise TopologyError(
                     f"count={count} disagrees with len(delays)={len(delays)}"
                 )
-            self._worker_delays = delays
+            self._worker_delays = list(delays)
             self._num_workers = len(delays)
         elif count is not None:
             if count < 1:
@@ -219,7 +239,7 @@ class Topology:
 
     # ------------------------------------------------------------ build
 
-    def to_config(self):
+    def to_config(self) -> "ClusterConfig":
         """The :class:`~repro.dspe.topology.ClusterConfig` this builds."""
         from repro.dspe.topology import ClusterConfig
 
@@ -233,7 +253,7 @@ class Topology:
                 f"duration ({self._duration}s) must exceed warmup "
                 f"({self._warmup}s)"
             )
-        kwargs = dict(
+        kwargs: Dict[str, Any] = dict(
             num_workers=self._num_workers,
             cpu_delay=self._cpu_delay,
             duration=self._duration,
@@ -256,7 +276,9 @@ class Topology:
             kwargs["max_pending"] = self._max_pending
         return ClusterConfig(**kwargs)
 
-    def _resolve_source(self, distribution=None):
+    def _resolve_source(
+        self, distribution: Optional[_SourceArg] = None
+    ) -> "KeyDistribution":
         from repro.streams.datasets import get_dataset
 
         dist = distribution if distribution is not None else self._source
@@ -268,7 +290,9 @@ class Topology:
             dist = get_dataset(dist).distribution()
         return dist
 
-    def build(self, distribution=None):
+    def build(
+        self, distribution: Optional[_SourceArg] = None
+    ) -> "WordCountCluster":
         """Materialise a runnable :class:`WordCountCluster`."""
         from repro.dspe.topology import WordCountCluster
 
@@ -290,17 +314,19 @@ class Topology:
             worker_cpu_delays=self._worker_delays,
         )
 
-    def _make_partitioner_factory(self, config) -> Callable[[int], object]:
+    def _make_partitioner_factory(
+        self, config: "ClusterConfig"
+    ) -> Callable[[int], "Partitioner"]:
         scheme, kwargs = self._scheme, dict(self._scheme_kwargs)
 
-        def factory(_spout_index: int):
+        def factory(_spout_index: int) -> "Partitioner":
             return make_partitioner(
                 scheme, config.num_workers, seed=config.seed, **kwargs
             )
 
         return factory
 
-    def run(self, distribution=None):
+    def run(self, distribution: Optional[_SourceArg] = None) -> "RunResult":
         """Build and run; returns the unified :class:`RunResult`."""
         from repro.api.facade import run as run_facade
 

@@ -19,9 +19,15 @@ Two jobs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.hashing.families import HashFamily, HashFunction
+
+#: anything accepted as a key stream.
+KeyStream = Union[Sequence[Any], np.ndarray]
 
 #: Default routing-window size.  Large enough to amortise per-chunk
 #: bookkeeping (hash hoisting, metric updates, kernel calls), small
@@ -59,7 +65,7 @@ class EncodedKeys:
         return int(self.codes.size)
 
 
-def as_key_array(keys) -> np.ndarray:
+def as_key_array(keys: KeyStream) -> np.ndarray:
     """Normalise any key sequence to a numpy array (no copy if possible)."""
     arr = np.asarray(keys)
     if arr.ndim != 1 and arr.size > 0:
@@ -67,7 +73,7 @@ def as_key_array(keys) -> np.ndarray:
     return arr
 
 
-def factorize(keys) -> Tuple[np.ndarray, np.ndarray]:
+def factorize(keys: KeyStream) -> Tuple[np.ndarray, np.ndarray]:
     """``(codes, unique)`` such that ``unique[codes]`` reproduces ``keys``.
 
     Unlike :func:`encode_keys` this always renumbers -- integer keys
@@ -80,7 +86,7 @@ def factorize(keys) -> Tuple[np.ndarray, np.ndarray]:
     return inverse.astype(np.int64, copy=False), unique
 
 
-def encode_keys(keys) -> EncodedKeys:
+def encode_keys(keys: KeyStream) -> EncodedKeys:
     """Factorise ``keys`` into int64 codes (identity for integer keys)."""
     arr = as_key_array(keys)
     if np.issubdtype(arr.dtype, np.integer):
@@ -89,7 +95,9 @@ def encode_keys(keys) -> EncodedKeys:
     return EncodedKeys(codes=inverse.astype(np.int64, copy=False), unique=unique)
 
 
-def hashed_choices(family, keys, num_workers: int) -> np.ndarray:
+def hashed_choices(
+    family: "HashFamily", keys: KeyStream, num_workers: int
+) -> np.ndarray:
     """The ``(m, d)`` candidate-worker matrix of a key stream.
 
     Integer keys use the family's vectorised path; other keys are
@@ -107,7 +115,9 @@ def hashed_choices(family, keys, num_workers: int) -> np.ndarray:
     return per_unique[encoded.codes]
 
 
-def hashed_buckets(hash_function, keys, num_buckets: int) -> np.ndarray:
+def hashed_buckets(
+    hash_function: "HashFunction", keys: KeyStream, num_buckets: int
+) -> np.ndarray:
     """Vectorised ``hash(key) % num_buckets`` for arbitrary key arrays."""
     encoded = encode_keys(keys)
     if encoded.unique is None:

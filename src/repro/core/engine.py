@@ -27,13 +27,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro._native import get_kernels
-from repro.core.chunks import DEFAULT_CHUNK_SIZE, as_key_array, iter_chunks
+from repro.core.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    KeyStream,
+    as_key_array,
+    iter_chunks,
+)
 from repro.core.metrics import StreamingLoadSeries
+
+if TYPE_CHECKING:
+    from repro.partitioning.base import Partitioner
 
 __all__ = [
     "EventLoop",
@@ -186,7 +194,7 @@ class InterleavedRouter:
         num_workers: int,
         mode: str = "local",
         probe_period: float = 0.0,
-    ):
+    ) -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         if mode == "probing" and probe_period <= 0:
@@ -196,12 +204,12 @@ class InterleavedRouter:
         self.num_workers = int(num_workers)
         self.probe_period = float(probe_period)
         self.true_loads = np.zeros(num_workers, dtype=np.int64)
-        self.views = (
+        self.views: Optional[np.ndarray] = (
             None
             if mode == "global"
             else np.zeros((num_sources, num_workers), dtype=np.int64)
         )
-        self.next_probe = (
+        self.next_probe: Optional[np.ndarray] = (
             np.full(num_sources, probe_period, dtype=np.float64)
             if mode == "probing"
             else None
@@ -251,7 +259,13 @@ class InterleavedRouter:
         self._route_python(choices, sources, times, out)
         return out
 
-    def _route_python(self, choices, sources, times, out) -> None:
+    def _route_python(
+        self,
+        choices: np.ndarray,
+        sources: np.ndarray,
+        times: Optional[np.ndarray],
+        out: np.ndarray,
+    ) -> None:
         m, d = choices.shape
         true_loads = self.true_loads.tolist()
         if self.views is None:
@@ -262,6 +276,9 @@ class InterleavedRouter:
             self.next_probe.tolist() if self.next_probe is not None else None
         )
         time_list = times.tolist() if times is not None else None
+        if time_list is not None:
+            # probing mode: route() guarantees both exist alongside times.
+            assert probe_clock is not None and view_rows is not None
         src = sources.tolist()
         cols = [choices[:, j].tolist() for j in range(d)]
         for i in range(m):
@@ -283,9 +300,11 @@ class InterleavedRouter:
             out[i] = best
         self.true_loads[:] = true_loads
         if view_rows is not None:
+            assert self.views is not None
             for s, row in enumerate(view_rows):
                 self.views[s] = row
         if probe_clock is not None:
+            assert self.next_probe is not None
             self.next_probe[:] = probe_clock
 
 
@@ -305,7 +324,9 @@ class ReplayResult:
     assignments: Optional[np.ndarray] = None
 
 
-def _as_times(timestamps, num_messages: int) -> Optional[np.ndarray]:
+def _as_times(
+    timestamps: Optional[Sequence[float]], num_messages: int
+) -> Optional[np.ndarray]:
     if timestamps is None:
         return None
     times = np.asarray(timestamps, dtype=np.float64)
@@ -317,9 +338,9 @@ def _as_times(timestamps, num_messages: int) -> Optional[np.ndarray]:
 
 
 def route_chunked(
-    keys,
-    partitioner,
-    timestamps=None,
+    keys: KeyStream,
+    partitioner: "Partitioner",
+    timestamps: Optional[Sequence[float]] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> np.ndarray:
     """Full per-message assignments of a stream, routed chunk by chunk."""
@@ -335,10 +356,10 @@ def route_chunked(
 
 
 def replay_stream(
-    keys,
-    partitioner,
+    keys: KeyStream,
+    partitioner: "Partitioner",
     *,
-    timestamps=None,
+    timestamps: Optional[Sequence[float]] = None,
     num_checkpoints: int = 100,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     keep_assignments: bool = False,
@@ -373,17 +394,17 @@ def replay_stream(
 
 
 def replay_per_source(
-    keys,
-    partitioner_factory: Callable[[int], "object"],
+    keys: KeyStream,
+    partitioner_factory: Callable[[int], "Partitioner"],
     num_workers: int,
     *,
     num_sources: int = 1,
     source_ids: Optional[np.ndarray] = None,
-    timestamps=None,
+    timestamps: Optional[Sequence[float]] = None,
     num_checkpoints: int = 100,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     keep_assignments: bool = False,
-) -> Tuple[ReplayResult, List]:
+) -> Tuple[ReplayResult, List["Partitioner"]]:
     """Replay with one independent partitioner instance per source.
 
     ``partitioner_factory(source_index)`` builds each instance.  Because
@@ -407,7 +428,7 @@ def replay_per_source(
             raise ValueError("source_ids references a source >= num_sources")
 
     workers = np.empty(m, dtype=np.int64)
-    partitioners = []
+    partitioners: List["Partitioner"] = []
     for s in range(int(num_sources)):
         partitioner = partitioner_factory(s)
         partitioners.append(partitioner)
@@ -444,7 +465,7 @@ def replay_interleaved(
     *,
     mode: str = "local",
     probe_period: float = 0.0,
-    timestamps=None,
+    timestamps: Optional[Sequence[float]] = None,
     num_checkpoints: int = 100,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     keep_assignments: bool = False,

@@ -52,7 +52,7 @@ class StreamingLoadSeries:
 
     def __init__(
         self, num_messages: int, num_workers: int, num_checkpoints: int = 100
-    ):
+    ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_messages = int(num_messages)

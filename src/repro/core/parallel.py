@@ -32,7 +32,7 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +49,10 @@ __all__ = [
 ]
 
 #: A stream-cache key: ``(kind, *params)``, hashable and picklable.
-StreamKey = Tuple
+StreamKey = Tuple[Any, ...]
+
+#: shared-memory block descriptor: (shm_name, dtype_str, shape).
+_BlockDescriptor = Tuple[str, str, Tuple[int, ...]]
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -116,11 +119,11 @@ _CACHE: Dict[StreamKey, Tuple[np.ndarray, ...]] = {}
 
 #: Worker-side descriptors of parent-published shared blocks:
 #: StreamKey -> list of (shm_name, dtype_str, shape).
-_SHARED_DESCRIPTORS: Dict[StreamKey, List[Tuple[str, str, Tuple[int, ...]]]] = {}
+_SHARED_DESCRIPTORS: Dict[StreamKey, List[_BlockDescriptor]] = {}
 
 #: Attached SharedMemory handles, kept alive for the worker's lifetime
 #: (the numpy views borrow their buffers).
-_ATTACHED: List = []
+_ATTACHED: List[Any] = []
 
 
 def _generate(key: StreamKey) -> Tuple[np.ndarray, ...]:
@@ -147,7 +150,7 @@ def _attach(key: StreamKey) -> Optional[Tuple[np.ndarray, ...]]:
         return None
     from multiprocessing import shared_memory
 
-    arrays = []
+    arrays: List[np.ndarray] = []
     for name, dtype_str, shape in descriptors:
         shm = shared_memory.SharedMemory(name=name)
         _ATTACHED.append(shm)
@@ -206,9 +209,9 @@ def clear_stream_cache() -> None:
 class _Publication:
     """Parent-held shared-memory copies of materialized streams."""
 
-    def __init__(self, keys: Iterable[StreamKey]):
-        self.blocks: List = []
-        self.descriptors: Dict[StreamKey, List[Tuple[str, str, Tuple[int, ...]]]] = {}
+    def __init__(self, keys: Iterable[StreamKey]) -> None:
+        self.blocks: List[Any] = []
+        self.descriptors: Dict[StreamKey, List[_BlockDescriptor]] = {}
         try:
             from multiprocessing import shared_memory
         except ImportError:  # pragma: no cover - always present on CPython
@@ -221,10 +224,10 @@ class _Publication:
             self.release()
             raise
 
-    def _publish(self, keys: Iterable[StreamKey], shared_memory) -> None:
+    def _publish(self, keys: Iterable[StreamKey], shared_memory: Any) -> None:
         for key in dict.fromkeys(keys):
             arrays = materialized_stream(key)
-            entry = []
+            entry: List[_BlockDescriptor] = []
             try:
                 for arr in arrays:
                     arr = np.ascontiguousarray(arr)
@@ -255,9 +258,7 @@ def _pool_probe() -> None:
     """No-op task proving the pool can actually spawn workers."""
 
 
-def _worker_init(
-    descriptors: Dict[StreamKey, List[Tuple[str, str, Tuple[int, ...]]]]
-) -> None:
+def _worker_init(descriptors: Dict[StreamKey, List[_BlockDescriptor]]) -> None:
     """Executor initializer: record where the parent's streams live."""
     _SHARED_DESCRIPTORS.update(descriptors)
 
@@ -268,11 +269,11 @@ def _worker_init(
 
 
 def parallel_map(
-    fn: Callable,
-    items: Sequence,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
     jobs: Optional[int] = None,
     streams: Iterable[StreamKey] = (),
-) -> List:
+) -> List[Any]:
     """``[fn(item) for item in items]``, sharded over processes.
 
     ``fn`` and every item must be picklable (module-level function,

@@ -1,0 +1,38 @@
+"""repro.lint: determinism & contract static analysis.
+
+An AST-based pass over ``src/`` and ``tests/`` enforcing the project's
+reproducibility invariants as named, suppressible rules:
+
+========  ====================  ==============================================
+id        name                  invariant
+========  ====================  ==============================================
+REPRO001  unseeded-rng          every random draw flows from an explicit seed
+REPRO002  hot-path-purity       no builtin hash() / wall-clock reads in
+                                routing & metrics hot paths
+REPRO003  partitioner-contract  registered schemes implement route_chunk with
+                                the base signature; no route_stream revival
+REPRO004  picklable-cells       parallel_map targets are module-level defs
+REPRO005  spec-completeness     literal scheme specs resolve via the registry
+========  ====================  ==============================================
+
+Suppress a finding in place with ``# repro: noqa`` (all rules) or
+``# repro: noqa[REPRO001,REPRO004]`` (listed rules) on the offending
+line.  Run ``python -m repro.lint --list-rules`` for the rule table.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import lint_file, lint_paths
+from repro.lint.findings import PARSE_ERROR, Finding
+from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "PARSE_ERROR",
+    "Rule",
+    "SuppressionIndex",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,107 @@
+"""Command-line interface: ``python -m repro.lint [paths...]``.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` -- no findings;
+* ``1`` -- findings reported;
+* ``2`` -- usage error (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import format_findings, lint_paths
+from repro.lint.rules import ALL_RULES
+
+#: roots linted when no paths are given.
+DEFAULT_PATHS = ("src", "tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism & contract static analysis for the repro "
+            "codebase (rules REPRO001-REPRO005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only run these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _split_ids(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids or None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule.id) for rule in ALL_RULES)
+        for rule in ALL_RULES:
+            print(f"{rule.id:<{width}}  {rule.name}: {rule.description}")
+        return 0
+
+    try:
+        findings = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    elif findings:
+        print(format_findings(findings))
+
+    if findings:
+        if args.format != "json":
+            plural = "" if len(findings) == 1 else "s"
+            print(f"\n{len(findings)} finding{plural}.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""File discovery and rule execution for :mod:`repro.lint`.
+
+The engine walks the requested roots, parses each Python file once,
+runs every (selected) rule over the shared AST, filters findings
+through the file's ``# repro: noqa`` suppressions, and returns them
+sorted by (path, line, col, rule) so output is stable run to run.
+
+Markdown files are routed through each rule's :meth:`Rule.check_markdown`
+hook (only REPRO005 implements it today).
+
+Directories named in :data:`DEFAULT_EXCLUDED_DIRS` are skipped while
+*walking* -- the lint fixture corpus lives under ``tests/data/lint/``
+and is deliberately full of violations -- but a path passed explicitly
+on the command line is always linted, so the fixture tests and the CI
+corpus check can target it directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.findings import PARSE_ERROR, Finding
+from repro.lint.rules import ALL_RULES
+from repro.lint.rules.base import ModuleContext, Rule
+from repro.lint.suppressions import SuppressionIndex
+
+#: directory names never descended into while walking roots.
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "build", "dist", "data"}
+)
+
+#: file suffixes the engine knows how to lint.
+_PY_SUFFIX = ".py"
+_MD_SUFFIX = ".md"
+
+
+def _select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """The subset of ALL_RULES matching --select / --ignore ids."""
+    rules = list(ALL_RULES)
+    if select:
+        wanted = {r.upper() for r in select}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.id in wanted]
+    if ignore:
+        dropped = {r.upper() for r in ignore}
+        unknown = dropped - {rule.id for rule in ALL_RULES}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def iter_lintable_files(roots: Sequence[str]) -> Iterator[str]:
+    """Yield lintable files under ``roots``, excluded dirs pruned.
+
+    Explicit file arguments are yielded as-is (even inside an excluded
+    directory); missing paths raise ``FileNotFoundError`` so a typo'd
+    CI invocation fails loudly instead of silently linting nothing.
+    """
+    seen = set()
+    for root in roots:
+        path = Path(root)
+        if path.is_file():
+            key = os.path.normpath(str(path))
+            if key not in seen:
+                seen.add(key)
+                yield str(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in DEFAULT_EXCLUDED_DIRS
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith((_PY_SUFFIX, _MD_SUFFIX)):
+                    continue
+                full = os.path.join(dirpath, filename)
+                key = os.path.normpath(full)
+                if key not in seen:
+                    seen.add(key)
+                    yield full
+
+
+def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` (default: all) over one file, suppressions applied."""
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=path,
+                line=1,
+                col=1,
+                rule=PARSE_ERROR,
+                message=f"could not read file: {exc}",
+            )
+        ]
+
+    if path.endswith(_MD_SUFFIX):
+        findings: List[Finding] = []
+        for rule in active:
+            findings.extend(rule.check_markdown(path, source))
+        return sorted(findings)
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule=PARSE_ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+
+    ctx = ModuleContext(path=path, source=source, tree=tree)
+    suppressions = SuppressionIndex(source)
+    findings = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    roots: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint every file under ``roots`` and return all findings sorted."""
+    rules = _select_rules(select, ignore)
+    findings: List[Finding] = []
+    for path in iter_lintable_files(roots):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """Human-readable one-line-per-finding report."""
+    return "\n".join(finding.format() for finding in findings)

@@ -1,0 +1,43 @@
+"""The finding record every lint rule emits.
+
+A finding pins one rule violation to one source location.  Findings are
+value objects: rules yield them, the engine filters them through the
+suppression index, and the CLI sorts and renders them (human one-liners
+or a JSON document).  Ordering is by location so output is stable across
+rule-execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The human one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+#: Pseudo-rule id used for files the engine cannot parse.  Not
+#: suppressible and not selectable: a syntax error hides every real
+#: finding in the file, so it must always surface.
+PARSE_ERROR = "REPRO000"

@@ -1,0 +1,44 @@
+"""Rule registry for :mod:`repro.lint`.
+
+``ALL_RULES`` lists one instance of every rule in id order; the engine
+and CLI iterate it, and ``--select`` / ``--ignore`` filter it by id.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lint.rules.base import (
+    ImportMap,
+    ModuleContext,
+    Rule,
+    call_name,
+    decorator_targets,
+)
+from repro.lint.rules.repro001 import UnseededRng
+from repro.lint.rules.repro002 import HotPathPurity
+from repro.lint.rules.repro003 import PartitionerContract
+from repro.lint.rules.repro004 import PicklableCells
+from repro.lint.rules.repro005 import SpecCompleteness
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRng(),
+    HotPathPurity(),
+    PartitionerContract(),
+    PicklableCells(),
+    SpecCompleteness(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ImportMap",
+    "ModuleContext",
+    "Rule",
+    "UnseededRng",
+    "HotPathPurity",
+    "PartitionerContract",
+    "PicklableCells",
+    "SpecCompleteness",
+    "call_name",
+    "decorator_targets",
+]

@@ -1,0 +1,151 @@
+"""The rule framework: contexts, import resolution, and the Rule ABC.
+
+Every rule works on a :class:`ModuleContext` -- one parsed file plus the
+helpers rules keep needing:
+
+* :class:`ImportMap` resolves local names to the dotted path they were
+  imported from (``np.random.default_rng`` -> ``numpy.random.default_rng``
+  under ``import numpy as np``), so rules match *what is called*, not
+  what it happens to be spelled like in this file;
+* path predicates (:func:`ModuleContext.has_part`) express "this file is
+  part of a routing/metrics hot path" checks by directory name.
+
+Rules are stateless singletons: one instance checks many files, so all
+per-file state lives in the context (or in rule-local visitors).
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+
+class ImportMap:
+    """Local name -> dotted origin, from a module's import statements.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``import a.b`` binds
+    ``a -> a``; ``from numpy.random import default_rng as rng`` binds
+    ``rng -> numpy.random.default_rng``.  Relative imports are resolved
+    with an unknown package root and therefore bind nothing (no repro
+    rule needs to see through them).
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        imports.aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        imports.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports.aliases[local] = f"{node.module}.{alias.name}"
+        return imports
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, or None.
+
+        The chain's head is expanded through the alias table; a head
+        that was never imported resolves to itself (it may be a builtin
+        or a module-local definition -- rules decide what that means).
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+
+@dataclass
+class ModuleContext:
+    """One parsed Python file, as seen by every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportMap.from_tree(self.tree)
+
+    def has_part(self, *names: str) -> bool:
+        """Whether any path component equals one of ``names``.
+
+        Matching on directory *names* rather than absolute prefixes
+        keeps the predicate true for both ``src/repro/core/engine.py``
+        and fixture trees like ``tests/data/lint/core/bad.py``.
+        """
+        parts = set(PurePath(self.path).parts)
+        return any(name in parts for name in names)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """A finding anchored at ``node``'s location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule(ABC):
+    """One named, suppressible invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    Rules that also understand markdown documents (spec strings quoted
+    in docs) override :meth:`check_markdown`.
+    """
+
+    #: rule identifier, e.g. ``"REPRO001"``
+    id: str = ""
+    #: short kebab-case name, e.g. ``"unseeded-rng"``
+    name: str = ""
+    #: one-line description shown by ``--list-rules``
+    description: str = ""
+
+    @abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in one parsed module."""
+
+    def check_markdown(self, path: str, text: str) -> Iterator[Finding]:
+        """Markdown hook; rules without doc semantics yield nothing."""
+        return iter(())
+
+
+def call_name(node: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Resolved dotted name of a call's target, or None."""
+    return imports.resolve(node.func)
+
+
+def decorator_targets(node: ast.ClassDef, imports: ImportMap) -> Tuple[str, ...]:
+    """Resolved dotted names of a class's decorators (call or bare)."""
+    out = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        resolved = imports.resolve(target)
+        if resolved is not None:
+            out.append(resolved)
+    return tuple(out)

@@ -1,0 +1,142 @@
+"""REPRO001: no unseeded randomness.
+
+Every stream, hash family, and sweep cell in this repo is a pure
+function of an explicit seed -- that is what makes `results/*.json`
+byte-identical across reruns and ``--jobs`` counts.  A single
+``np.random.default_rng()`` (entropy-seeded) or module-level
+``random.*`` / ``np.random.*`` call (hidden global state, salted by
+interpreter start-up) silently breaks that contract.
+
+Flagged:
+
+* ``np.random.default_rng()`` / ``np.random.RandomState()`` with no
+  seed argument;
+* calls through the legacy global-state surfaces: ``np.random.seed``,
+  ``np.random.rand``, ``np.random.randint``, ... and the stdlib
+  ``random`` module's functions.
+
+Allowed: seeded constructions (``default_rng(7)``), generators threaded
+as arguments, and anything on the allowlist / under a
+``# repro: noqa[REPRO001]`` marker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule, call_name
+
+#: numpy legacy global-state entry points (``np.random.<fn>``).
+_NUMPY_GLOBAL = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+        "beta",
+        "gamma",
+        "zipf",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: stdlib ``random`` module functions (module-level = hidden global state).
+_STDLIB_RANDOM = frozenset(
+    {
+        "random",
+        "seed",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "lognormvariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+#: path components exempt from this rule (none today; extend as needed).
+ALLOWLIST_PARTS: Tuple[str, ...] = ()
+
+
+class UnseededRng(Rule):
+    id = "REPRO001"
+    name = "unseeded-rng"
+    description = (
+        "no entropy-seeded Generators or global-state RNG calls: every "
+        "random draw must flow from an explicit seed"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ALLOWLIST_PARTS and ctx.has_part(*ALLOWLIST_PARTS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = call_name(node, ctx.imports)
+            if resolved is None:
+                continue
+            if resolved in (
+                "numpy.random.default_rng",
+                "numpy.random.RandomState",
+            ):
+                if not node.args and not node.keywords:
+                    tail = resolved.rsplit(".", 1)[1]
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"np.random.{tail}() without a seed draws from OS "
+                        "entropy; pass an explicit seed (or thread a "
+                        "Generator through)",
+                    )
+                continue
+            if resolved.startswith("numpy.random."):
+                tail = resolved[len("numpy.random.") :]
+                if tail in _NUMPY_GLOBAL:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"np.random.{tail}() uses numpy's hidden global "
+                        "RNG state; construct np.random.default_rng(seed) "
+                        "and use it explicitly",
+                    )
+                continue
+            if resolved.startswith("random."):
+                tail = resolved[len("random.") :]
+                if tail in _STDLIB_RANDOM:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"random.{tail}() uses the stdlib's hidden global "
+                        "RNG state; use random.Random(seed) or a seeded "
+                        "numpy Generator",
+                    )

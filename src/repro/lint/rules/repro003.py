@@ -1,0 +1,103 @@
+"""REPRO003: registered partitioners honour the route_chunk contract.
+
+Every ``@register``-ed scheme is driven through
+``Partitioner.route_chunk`` by the chunked engine, and the equivalence
+suite asserts chunk decisions match per-message :meth:`route` replays.
+Two static preconditions make that contract auditable at PR time:
+
+* the class defines ``route_chunk`` itself, with the base signature
+  ``(self, keys, timestamps=None)`` -- inheriting a generic fallback
+  silently costs the vectorised path, and a renamed/reordered parameter
+  breaks keyword callers in the engine;
+* the class does not define ``route_stream`` -- the deprecated
+  whole-stream shim was removed from the base class, and a subclass
+  resurrecting it would dodge the chunk-equivalence tests entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule, decorator_targets
+
+#: dotted names that mark a class as a registered partitioner scheme.
+_REGISTER_NAMES = frozenset(
+    {
+        "repro.api.registry.register",
+        "repro.api.register",
+        "register",
+    }
+)
+
+#: the base-class parameter names of route_chunk, in order.
+_EXPECTED_PARAMS: Tuple[str, ...] = ("self", "keys", "timestamps")
+
+
+def _is_registered(node: ast.ClassDef, ctx: ModuleContext) -> bool:
+    return any(
+        target in _REGISTER_NAMES for target in decorator_targets(node, ctx.imports)
+    )
+
+
+def _signature_matches(fn: ast.FunctionDef) -> bool:
+    args = fn.args
+    if args.posonlyargs or args.vararg or args.kwonlyargs or args.kwarg:
+        return False
+    names = tuple(a.arg for a in args.args)
+    if names != _EXPECTED_PARAMS:
+        return False
+    # timestamps (and only timestamps) must carry a default.
+    if len(args.defaults) != 1:
+        return False
+    default = args.defaults[0]
+    return isinstance(default, ast.Constant) and default.value is None
+
+
+class PartitionerContract(Rule):
+    id = "REPRO003"
+    name = "partitioner-contract"
+    description = (
+        "@register-ed schemes must define route_chunk(self, keys, "
+        "timestamps=None) and must not define the removed route_stream"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_registered(node, ctx):
+                continue
+            route_chunk = None
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name == "route_chunk" and isinstance(item, ast.FunctionDef):
+                    route_chunk = item
+                elif item.name == "route_stream":
+                    yield ctx.finding(
+                        item,
+                        self.id,
+                        f"{node.name} defines route_stream, which was "
+                        "removed from Partitioner; whole-stream routing "
+                        "goes through route_chunk / "
+                        "repro.core.engine.route_chunked",
+                    )
+            if route_chunk is None:
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f"registered partitioner {node.name} does not define "
+                    "route_chunk; every registered scheme must implement "
+                    "the chunk contract itself (the generic per-message "
+                    "fallback hides vectorisation regressions)",
+                )
+            elif not _signature_matches(route_chunk):
+                yield ctx.finding(
+                    route_chunk,
+                    self.id,
+                    f"{node.name}.route_chunk must use the base-class "
+                    "signature (self, keys, timestamps=None) so engine "
+                    "keyword calls and the equivalence suite apply",
+                )

@@ -1,0 +1,113 @@
+"""REPRO004: work shipped to process pools must be module-level.
+
+``repro.core.parallel.parallel_map`` shards sweep cells over a
+``ProcessPoolExecutor``.  Under the ``spawn``/``forkserver`` start
+methods every task function is *pickled*, and pickling resolves
+functions by qualified name: lambdas and closures raise
+``PicklingError`` -- but only when a pool actually spawns, so the bug
+hides on ``fork`` platforms and in ``REPRO_PARALLEL=0`` CI legs until
+it detonates on someone else's machine.
+
+Flagged, at every ``parallel_map(fn, ...)`` call site:
+
+* a ``lambda`` as the mapped function;
+* a name bound to a function *defined inside another function* in the
+  same module (a closure by construction).
+
+Module-level ``def``s and dotted references are accepted -- whether
+their *arguments* pickle is the runtime contract the executor's tests
+cover.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule
+
+#: call targets whose first argument must be a picklable function.
+_POOL_ENTRY_POINTS = frozenset({"parallel_map"})
+
+
+def _callable_names(node: ast.Call) -> Iterator[str]:
+    """Local names this call might refer to parallel_map by."""
+    if isinstance(node.func, ast.Name):
+        yield node.func.id
+    elif isinstance(node.func, ast.Attribute):
+        yield node.func.attr
+
+
+class _DefIndex(ast.NodeVisitor):
+    """Module-level vs nested function definitions in one module."""
+
+    def __init__(self) -> None:
+        self.module_level: Set[str] = set()
+        self.nested: Set[str] = set()
+        self._depth = 0
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        if self._depth == 0:
+            self.module_level.add(name)
+        else:
+            self.nested.add(name)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Methods are not module-level names, but they are not closures
+        # either; stay neutral by treating class bodies as nesting.
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+
+class PicklableCells(Rule):
+    id = "REPRO004"
+    name = "picklable-cells"
+    description = (
+        "functions handed to parallel_map must be module-level defs; "
+        "lambdas and closures break pickling under spawn"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        index = _DefIndex()
+        index.visit(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if not any(n in _POOL_ENTRY_POINTS for n in _callable_names(node)):
+                continue
+            fn = node.args[0]
+            if isinstance(fn, ast.Lambda):
+                yield ctx.finding(
+                    fn,
+                    self.id,
+                    "lambda passed to parallel_map cannot be pickled "
+                    "under the spawn start method; hoist it to a "
+                    "module-level def",
+                )
+            elif isinstance(fn, ast.Name):
+                name = fn.id
+                if name in index.nested and name not in index.module_level:
+                    yield ctx.finding(
+                        fn,
+                        self.id,
+                        f"{name} is defined inside another function; "
+                        "closures cannot be pickled under the spawn "
+                        "start method -- hoist it to module level and "
+                        "pass its inputs through the cell descriptor",
+                    )

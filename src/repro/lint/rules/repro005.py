@@ -1,0 +1,133 @@
+"""REPRO005: spec-string completeness against the live registry.
+
+Scheme spec strings (``"pkg:d=3"``) appear as literals in experiment
+configs, harness tables, tests, and docs.  A typo'd name or parameter
+is only caught when that code path actually runs -- which for docs is
+never, and for a rarely-exercised sweep cell may be hours into a run.
+This rule resolves every literal spec it can see against the registry
+itself (:mod:`repro.api.registry`), so registry drift -- renamed
+schemes, dropped aliases, changed constructor parameters -- fails the
+lint pass instead of a sweep.
+
+Checked call sites (first-argument string literals):
+
+* ``make_partitioner("...")``, ``resolve_scheme_name("...")``,
+  ``scheme_info("...")``;
+* ``<topology>.partition_by("...")``;
+* ``run("...", ...)`` when it carries stream keywords (``keys``,
+  ``dataset``, ``distribution``, ``num_workers``) marking it as the
+  ``repro.api.run`` facade.
+
+In markdown documents, backtick spans shaped like spec strings with
+parameters (``name:key=value[,key=value]``) are validated the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule
+
+#: bare call names whose first literal argument is always a scheme spec.
+_SPEC_CALLS = frozenset(
+    {"make_partitioner", "resolve_scheme_name", "scheme_info"}
+)
+
+#: attribute call names whose first literal argument is a scheme spec.
+_SPEC_METHODS = frozenset({"partition_by"})
+
+#: keywords marking a bare ``run(...)`` call as the repro.api facade.
+_RUN_KEYWORDS = frozenset({"keys", "dataset", "distribution", "num_workers"})
+
+#: a backtick span that *looks like* a parameterised spec string.
+_MD_SPEC = re.compile(
+    r"`(?P<spec>[a-z][a-z0-9_-]*:[a-z0-9_]+=[^,`\s]+(?:,[a-z0-9_]+=[^,`\s]+)*)`"
+)
+
+
+def validate_spec(spec: str) -> Optional[str]:
+    """Why ``spec`` does not resolve via the registry, or None if it does.
+
+    Imports the registry lazily so that merely loading the lint rules
+    never drags in the scheme modules.
+    """
+    from repro.api.registry import parse_spec, scheme_info
+
+    try:
+        name, params = parse_spec(spec)
+    except (TypeError, ValueError) as exc:
+        return f"malformed spec {spec!r}: {exc}"
+    try:
+        info = scheme_info(name)
+    except ValueError as exc:
+        return str(exc)
+    valid = set(info.valid_kwargs()) | set(info.param_aliases)
+    unknown = sorted(k for k in params if k not in valid)
+    if unknown:
+        return (
+            f"scheme {info.name!r} does not accept "
+            f"{', '.join(repr(k) for k in unknown)}; valid parameters: "
+            f"{', '.join(sorted(valid))}"
+        )
+    return None
+
+
+def _spec_argument(node: ast.Call) -> Optional[ast.Constant]:
+    """The call's literal first-argument spec string, if it has one."""
+    if not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first
+    return None
+
+
+def _is_spec_call(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Name):
+        if node.func.id in _SPEC_CALLS:
+            return True
+        if node.func.id == "run":
+            return any(kw.arg in _RUN_KEYWORDS for kw in node.keywords)
+        return False
+    if isinstance(node.func, ast.Attribute):
+        if node.func.attr in _SPEC_CALLS or node.func.attr in _SPEC_METHODS:
+            return True
+        if node.func.attr == "run":
+            return any(kw.arg in _RUN_KEYWORDS for kw in node.keywords)
+    return False
+
+
+class SpecCompleteness(Rule):
+    id = "REPRO005"
+    name = "spec-completeness"
+    description = (
+        "every scheme spec string quoted in code or docs must resolve "
+        "through make_partitioner's registry"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_spec_call(node):
+                continue
+            literal = _spec_argument(node)
+            if literal is None:
+                continue
+            problem = validate_spec(literal.value)
+            if problem is not None:
+                yield ctx.finding(literal, self.id, problem)
+
+    def check_markdown(self, path: str, text: str) -> Iterator[Finding]:
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in _MD_SPEC.finditer(line):
+                problem = validate_spec(match.group("spec"))
+                if problem is not None:
+                    yield Finding(
+                        path=path,
+                        line=lineno,
+                        col=match.start("spec") + 1,
+                        rule=self.id,
+                        message=problem,
+                    )

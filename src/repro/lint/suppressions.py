@@ -1,0 +1,64 @@
+"""``# repro: noqa`` suppression comments.
+
+Two forms, mirroring flake8/ruff so the idiom is familiar:
+
+* ``# repro: noqa`` -- suppress every repro rule on that line;
+* ``# repro: noqa[REPRO001]`` / ``# repro: noqa[REPRO001,REPRO004]`` --
+  suppress only the named rules.
+
+Suppressions are per *physical line*: a finding is dropped when its
+line carries a matching marker.  The index is built from the raw source
+with a regex rather than the tokenizer so that even files with syntax
+errors can be indexed (the parse-error pseudo-finding itself is never
+suppressible).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+from repro.lint.findings import PARSE_ERROR, Finding
+
+#: ``# repro: noqa`` with an optional ``[RULE,RULE]`` qualifier.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<rules>[A-Za-z0-9_,\s]*)\])?",
+)
+
+
+class SuppressionIndex:
+    """Per-line suppression markers of one source file.
+
+    ``None`` as a line's rule set means "every rule" (a bare noqa).
+    """
+
+    def __init__(self, source: str):
+        self._by_line: Dict[int, Optional[FrozenSet[str]]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _NOQA.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                self._by_line[lineno] = None
+            else:
+                named = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                )
+                # ``# repro: noqa[]`` names no rules: treat as bare noqa
+                # rather than a marker that suppresses nothing.
+                self._by_line[lineno] = named or None
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether this finding's line carries a matching noqa marker."""
+        if finding.rule == PARSE_ERROR:
+            return False
+        if finding.line not in self._by_line:
+            return False
+        rules = self._by_line[finding.line]
+        return rules is None or finding.rule in rules
+
+    @property
+    def marked_lines(self) -> Dict[int, Optional[FrozenSet[str]]]:
+        """Line -> suppressed rule set (None = all); for diagnostics."""
+        return dict(self._by_line)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ class WorkerLoadRegistry:
 
     __slots__ = ("loads",)
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.loads = np.zeros(num_workers, dtype=np.int64)
@@ -100,7 +100,9 @@ class LoadEstimator(ABC):
         """Forget accumulated state (default: nothing to forget)."""
 
 
-def vectorizable_loads(estimator):
+def vectorizable_loads(
+    estimator: LoadEstimator,
+) -> Tuple[Optional[np.ndarray], Optional[WorkerLoadRegistry]]:
     """The mutable load vector behind ``estimator``, if chunk-safe.
 
     Returns ``(loads, mirror_registry)`` when the estimator's selection

@@ -37,7 +37,7 @@ class ProbingLoadEstimator(LocalLoadEstimator):
         num_workers: int,
         registry: WorkerLoadRegistry,
         period: float,
-    ):
+    ) -> None:
         if registry is None:
             raise ValueError("probing requires a ground-truth registry to probe")
         if period <= 0:

@@ -17,9 +17,8 @@ out of the loop and vectorise whatever their state permits.
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,20 +29,20 @@ class Partitioner(ABC):
     #: short display name used in experiment tables ("PKG", "H", ...)
     name: str = "base"
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
 
     @abstractmethod
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         """The worker that must handle the message with this ``key``.
 
         ``now`` is the message timestamp; only time-aware partitioners
         (probing PKG, rebalancing KG) use it.
         """
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         """The workers this key *may* be routed to.
 
         Key grouping returns a single worker; PKG returns its d hash
@@ -54,7 +53,7 @@ class Partitioner(ABC):
         return tuple(range(self.num_workers))
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         """Route one key chunk; returns int64 worker ids.
 
@@ -80,26 +79,6 @@ class Partitioner(ABC):
             for i in range(m):
                 out[i] = self.route(keys[i], float(timestamps[i]))
         return out
-
-    def route_stream(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
-    ) -> np.ndarray:
-        """Deprecated alias of :meth:`route_chunk`.
-
-        Kept as a shim (mirroring the ``repro.dspe.topology.SCHEMES``
-        deprecation): whole-stream routing now lives in
-        :meth:`route_chunk` / :func:`repro.core.engine.route_chunked`,
-        which also fixes the old generic fallback's inconsistent
-        ``timestamps`` handling.
-        """
-        warnings.warn(
-            "Partitioner.route_stream is deprecated; use route_chunk "
-            "(or repro.core.engine.route_chunked for chunked whole-stream "
-            "routing)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.route_chunk(keys, timestamps)
 
     def reset(self) -> None:
         """Clear any accumulated routing state."""

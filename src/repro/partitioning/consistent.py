@@ -19,7 +19,7 @@ This module implements:
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class HashRing:
         Seeds both the worker-placement and the key hash.
     """
 
-    def __init__(self, num_workers: int, virtual_nodes: int = 64, seed: int = 0):
+    def __init__(self, num_workers: int, virtual_nodes: int = 64, seed: int = 0) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if virtual_nodes < 1:
@@ -56,11 +56,11 @@ class HashRing:
         self._key_hash = HashFunction(seed ^ 0xC0FFEE)
         self._points: List[int] = []
         self._owners: List[int] = []
-        self._members: set = set()
+        self._members: Set[int] = set()
         # Lazily built lookup tables (see _points_table/_successor_table);
         # any membership change invalidates them.
         self._points_arr: Optional[np.ndarray] = None
-        self._succ_tables: dict = {}
+        self._succ_tables: Dict[int, np.ndarray] = {}
         for worker in range(num_workers):
             self.add_worker(worker)
 
@@ -96,7 +96,7 @@ class HashRing:
         self._invalidate()
 
     @property
-    def workers(self) -> set:
+    def workers(self) -> Set[int]:
         return set(self._members)
 
     # -- precomputed lookup tables ------------------------------------
@@ -150,7 +150,7 @@ class HashRing:
             )
         return np.searchsorted(points, hashes, side="right") % points.size
 
-    def successor_matrix(self, keys, count: int = 1) -> np.ndarray:
+    def successor_matrix(self, keys: Sequence[Any], count: int = 1) -> np.ndarray:
         """Ring successors of each key, as an ``(n, count')`` matrix.
 
         ``count'`` may be smaller than ``count`` when the ring has
@@ -163,7 +163,7 @@ class HashRing:
         table = self._successor_table(width)
         return table[self._positions(keys)]
 
-    def successors(self, key, count: int = 1) -> Tuple[int, ...]:
+    def successors(self, key: Any, count: int = 1) -> Tuple[int, ...]:
         """The first ``count`` *distinct* workers clockwise of the key."""
         if not self._points:
             raise RuntimeError("ring has no workers")
@@ -191,21 +191,21 @@ class ConsistentKeyGrouping(Partitioner):
         virtual_nodes: int = 64,
         seed: int = 0,
         ring: Optional[HashRing] = None,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         self.ring = ring or HashRing(num_workers, virtual_nodes, seed)
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         return self.ring.successors(key, 1)[0]
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         # Stateless: one ring lookup per distinct key, gathered back.
         codes, unique = factorize(keys)
         return self.ring.successor_matrix(unique, 1)[:, 0][codes]
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         return self.ring.successors(key, 1)
 
 
@@ -236,7 +236,7 @@ class ConsistentPartialKeyGrouping(Partitioner):
         estimator: Optional[LoadEstimator] = None,
         registry: Optional[WorkerLoadRegistry] = None,
         ring: Optional[HashRing] = None,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         if num_choices < 1:
             raise ValueError(f"num_choices must be >= 1, got {num_choices}")
@@ -244,16 +244,16 @@ class ConsistentPartialKeyGrouping(Partitioner):
         self.ring = ring or HashRing(num_workers, virtual_nodes, seed)
         self.estimator = estimator or LocalLoadEstimator(num_workers, registry)
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         return self.ring.successors(key, self.num_choices)
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         worker = self.estimator.select(self.candidates(key), now)
         self.estimator.on_send(worker, now)
         return worker
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         loads, mirror = vectorizable_loads(self.estimator)
         if loads is None:
@@ -285,7 +285,7 @@ class ConsistentPartialKeyGrouping(Partitioner):
 
 
 def relocation_fraction(
-    ring_before: HashRing, ring_after: HashRing, keys, count: int = 1
+    ring_before: HashRing, ring_after: HashRing, keys: Iterable[Any], count: int = 1
 ) -> float:
     """Fraction of keys whose candidate set changed between two rings.
 

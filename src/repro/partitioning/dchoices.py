@@ -10,7 +10,7 @@ destroying all key locality.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -36,18 +36,18 @@ class LeastLoaded(Partitioner):
         num_workers: int,
         estimator: Optional[LoadEstimator] = None,
         registry: Optional[WorkerLoadRegistry] = None,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         self.estimator = estimator or LocalLoadEstimator(num_workers, registry)
         self._all_workers = tuple(range(num_workers))
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         worker = self.estimator.select(self._all_workers, now)
         self.estimator.on_send(worker, now)
         return worker
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         loads, mirror = vectorizable_loads(self.estimator)
         if loads is not None:

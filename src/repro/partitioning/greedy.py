@@ -14,7 +14,7 @@ choices:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,11 @@ from repro.load.oracle import GlobalOracleEstimator
 from repro.partitioning.base import Partitioner
 
 
-def _bind_chunk_with_table(partitioner, keys, choices_for=None) -> Optional[np.ndarray]:
+def _bind_chunk_with_table(
+    partitioner: Any,
+    keys: Sequence[Any],
+    choices_for: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> Optional[np.ndarray]:
     """Shared chunk path of the first-sight-binding schemes.
 
     Factorises the chunk, fills a dense code->worker table from the
@@ -75,7 +79,7 @@ class OnlineGreedy(Partitioner):
         num_workers: int,
         estimator: Optional[LoadEstimator] = None,
         registry: Optional[WorkerLoadRegistry] = None,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         if estimator is None:
             registry = registry or WorkerLoadRegistry(num_workers)
@@ -84,12 +88,12 @@ class OnlineGreedy(Partitioner):
         self.routing_table: Dict = {}
         self._all_workers = tuple(range(num_workers))
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         if key in self.routing_table:
             return (self.routing_table[key],)
         return self._all_workers
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         worker = self.routing_table.get(key)
         if worker is None:
             worker = self.estimator.select(self._all_workers, now)
@@ -98,7 +102,7 @@ class OnlineGreedy(Partitioner):
         return worker
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         # New keys bind to the least-loaded of *all* workers, so the
         # binding kernel runs with an open candidate set.
@@ -133,15 +137,17 @@ class OfflineGreedy(Partitioner):
 
     name = "Off-Greedy"
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int) -> None:
         super().__init__(num_workers)
         self.routing_table: Dict = {}
         self._planned_load = np.zeros(num_workers, dtype=np.float64)
         self._fitted = False
         #: (table_len, sorted_keys, workers) chunk-lookup cache
-        self._sorted_lookup = None
+        self._sorted_lookup: Optional[
+            Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]
+        ] = None
 
-    def fit(self, frequencies: Mapping) -> "OfflineGreedy":
+    def fit(self, frequencies: Mapping[Any, float]) -> "OfflineGreedy":
         """Plan the assignment from a ``{key: frequency}`` mapping."""
         self.routing_table.clear()
         self._sorted_lookup = None
@@ -156,24 +162,25 @@ class OfflineGreedy(Partitioner):
         return self
 
     @classmethod
-    def from_stream(cls, keys: Sequence, num_workers: int) -> "OfflineGreedy":
+    def from_stream(cls, keys: Sequence[Any], num_workers: int) -> "OfflineGreedy":
         """Fit directly from the key sequence that will be replayed."""
-        keys = np.asarray(keys)
-        if np.issubdtype(keys.dtype, np.integer):
-            counts = np.bincount(keys.astype(np.int64))
+        arr = np.asarray(keys)
+        freqs: Dict[Any, int]
+        if np.issubdtype(arr.dtype, np.integer):
+            counts = np.bincount(arr.astype(np.int64))
             freqs = {int(k): int(c) for k, c in enumerate(counts) if c > 0}
         else:
             freqs = {}
-            for k in keys:
+            for k in arr:
                 freqs[k] = freqs.get(k, 0) + 1
         return cls(num_workers).fit(freqs)
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         if key in self.routing_table:
             return (self.routing_table[key],)
         return tuple(range(self.num_workers))
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         worker = self.routing_table.get(key)
         if worker is None:
             worker = int(np.argmin(self._planned_load))
@@ -182,7 +189,7 @@ class OfflineGreedy(Partitioner):
         return worker
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         keys_arr = np.asarray(keys)
         if self._fitted and keys_arr.size:

@@ -8,7 +8,7 @@ share of messages (Figure 1).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,18 +38,18 @@ class KeyGrouping(Partitioner):
         num_workers: int,
         hash_function: Optional[HashFunction] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         self._hash = hash_function or HashFamily(size=1, seed=seed)[0]
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         return self._hash(key) % self.num_workers
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         return (self.route(key),)
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         # Stateless: fully vectorised (integer keys), or hashed once per
         # distinct key and gathered (everything else).

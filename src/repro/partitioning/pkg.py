@@ -19,7 +19,7 @@ improvements", reproduced by ``benchmarks/bench_ablation_dchoices.py``).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class PartialKeyGrouping(Partitioner):
         estimator: Optional[LoadEstimator] = None,
         registry: Optional[WorkerLoadRegistry] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         if hash_family is not None and len(hash_family) != num_choices:
             raise ValueError(
@@ -80,17 +80,17 @@ class PartialKeyGrouping(Partitioner):
         self.family = hash_family or HashFamily(size=num_choices, seed=seed)
         self.estimator = estimator or LocalLoadEstimator(num_workers, registry)
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         """The d candidate workers of ``key`` (duplicates preserved)."""
         return self.family.choices(key, self.num_workers)
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         worker = self.estimator.select(self.candidates(key), now)
         self.estimator.on_send(worker, now)
         return worker
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         """Route one chunk with hashing hoisted out of the loop.
 

@@ -11,7 +11,7 @@ cannot adapt once the key's frequency is revealed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class StaticPoTC(Partitioner):
         estimator: Optional[LoadEstimator] = None,
         registry: Optional[WorkerLoadRegistry] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         self.family = hash_family or HashFamily(size=2, seed=seed)
         if estimator is None:
@@ -60,12 +60,12 @@ class StaticPoTC(Partitioner):
         self.estimator = estimator
         self.routing_table: Dict = {}
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         if key in self.routing_table:
             return (self.routing_table[key],)
         return self.family.choices(key, self.num_workers)
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         worker = self.routing_table.get(key)
         if worker is None:
             worker = self.estimator.select(
@@ -76,7 +76,7 @@ class StaticPoTC(Partitioner):
         return worker
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         out = _bind_chunk_with_table(
             self,

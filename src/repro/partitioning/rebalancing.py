@@ -12,7 +12,7 @@ migration traffic paid.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,7 +67,7 @@ class RebalancingKeyGrouping(Partitioner):
         max_migrations_per_rebalance: int = 8,
         hash_function: Optional[HashFunction] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(num_workers)
         if check_interval < 1:
             raise ValueError(f"check_interval must be >= 1, got {check_interval}")
@@ -112,7 +112,7 @@ class RebalancingKeyGrouping(Partitioner):
         n = len(self._slot_keys)
         return dict(zip(self._slot_keys, self._counts[:n].tolist()))
 
-    def _home(self, key) -> int:
+    def _home(self, key: Any) -> int:
         return self._hash(key) % self.num_workers
 
     def _ensure_capacity(self, n: int) -> None:
@@ -127,7 +127,7 @@ class RebalancingKeyGrouping(Partitioner):
             [self._owners, np.zeros(grow, dtype=np.int64)]
         )
 
-    def _allocate(self, key, home: int) -> int:
+    def _allocate(self, key: Any, home: int) -> int:
         slot = len(self._slot_keys)
         self._ensure_capacity(slot + 1)
         self._slot[key] = slot
@@ -136,7 +136,7 @@ class RebalancingKeyGrouping(Partitioner):
         self._owners[slot] = home
         return slot
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         slot = self._slot.get(key)
         if slot is None:
             slot = self._allocate(key, self._home(key))
@@ -149,7 +149,7 @@ class RebalancingKeyGrouping(Partitioner):
             self._maybe_rebalance()
         return worker
 
-    def candidates(self, key) -> Tuple[int, ...]:
+    def candidates(self, key: Any) -> Tuple[int, ...]:
         worker = self.overrides.get(key)
         return (worker if worker is not None else self._home(key),)
 
@@ -203,7 +203,7 @@ class RebalancingKeyGrouping(Partitioner):
         self._table_slots = order.astype(np.int64, copy=False)
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         """Route-with-epochs kernel: vectorize between checkpoints.
 

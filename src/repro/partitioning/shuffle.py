@@ -8,7 +8,7 @@ worker: memory O(W*K) and W-1 aggregations per key (Section II-A).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -30,17 +30,17 @@ class ShuffleGrouping(Partitioner):
 
     name = "SG"
 
-    def __init__(self, num_workers: int, offset: int = 0):
+    def __init__(self, num_workers: int, offset: int = 0) -> None:
         super().__init__(num_workers)
         self._next = int(offset) % num_workers
 
-    def route(self, key, now: float = 0.0) -> int:
+    def route(self, key: Any, now: float = 0.0) -> int:
         worker = self._next
         self._next = (worker + 1) % self.num_workers
         return worker
 
     def route_chunk(
-        self, keys: Sequence, timestamps: Optional[Sequence[float]] = None
+        self, keys: Sequence[Any], timestamps: Optional[Sequence[float]] = None
     ) -> np.ndarray:
         m = len(keys)
         start = self._next

@@ -77,12 +77,30 @@ class KeyDistribution(ABC):
         """
         return int(np.floor(2.0 / self.p1))
 
-    def sample(self, size: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Draw ``size`` i.i.d. keys (as int64 ranks) from D."""
+    def sample(
+        self,
+        size: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw ``size`` i.i.d. keys (as int64 ranks) from D.
+
+        Randomness must be explicit: pass a ``Generator`` via ``rng``
+        or an integer ``seed`` (REPRO001 -- an entropy-seeded default
+        would break byte-identical artifact replays).
+        """
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
         if rng is None:
-            rng = np.random.default_rng()
+            if seed is None:
+                raise ValueError(
+                    "sample() needs explicit randomness: pass rng=<Generator> "
+                    "or seed=<int> (unseeded draws are non-reproducible)"
+                )
+            rng = np.random.default_rng(seed)
+        elif seed is not None:
+            raise ValueError("pass either rng or seed, not both")
         if self._cdf is None:
             self._cdf = np.cumsum(self.probabilities)
             self._cdf[-1] = 1.0

@@ -1,0 +1,21 @@
+"""REPRO002 fixture (under a ``core`` dir => hot path): impurities."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def builtin_hash_route(key, num_workers):
+    return hash(key) % num_workers  # line 9: PYTHONHASHSEED-salted
+
+
+def wall_clock_metric():
+    return time.time()  # line 13: wall clock
+
+
+def aliased_clock():
+    return perf_counter()  # line 17: wall clock via from-import
+
+
+def date_stamp():
+    return datetime.now()  # line 21: wall clock

@@ -1,0 +1,18 @@
+"""REPRO002 fixture: seeded hashing and simulated time pass."""
+
+
+def seeded_route(hash_fn, key, num_workers):
+    return hash_fn(key) % num_workers
+
+
+def simulated_time(timestamps, i):
+    return float(timestamps[i])
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt):
+        self.now += dt
+        return self.now

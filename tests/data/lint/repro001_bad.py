@@ -1,0 +1,34 @@
+"""REPRO001 fixture: every flavour of unseeded randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def entropy_generator():
+    return np.random.default_rng()  # line 10: no seed
+
+
+def legacy_state():
+    return np.random.RandomState()  # line 14: no seed
+
+
+def numpy_global_draw(n):
+    return np.random.rand(n)  # line 18: hidden global state
+
+
+def numpy_global_seed():
+    np.random.seed(42)  # line 22: still global state
+
+
+def stdlib_global():
+    return random.random()  # line 26: stdlib global state
+
+
+def stdlib_choice(items):
+    return random.choice(items)  # line 30: stdlib global state
+
+
+def aliased_import():
+    return default_rng()  # line 34: no seed, via from-import

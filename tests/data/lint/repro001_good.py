@@ -1,0 +1,25 @@
+"""REPRO001 fixture: seeded / threaded randomness is fine."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_keyword():
+    return np.random.default_rng(seed=7)
+
+
+def threaded_generator(rng, n):
+    return rng.random(n)
+
+
+def local_stdlib_instance(seed):
+    return random.Random(seed).random()
+
+
+def seeded_spawn(rng):
+    return rng.spawn(2)

@@ -1,0 +1,31 @@
+"""REPRO003 fixture: registered classes breaking the chunk contract."""
+
+from repro.api.registry import register
+from repro.partitioning.base import Partitioner
+
+
+@register("fixture-no-chunk")
+class NoChunk(Partitioner):  # line 8: no route_chunk at all
+    def route(self, key, now=0.0):
+        return 0
+
+
+@register("fixture-bad-sig")
+class BadSignature(Partitioner):
+    def route(self, key, now=0.0):
+        return 0
+
+    def route_chunk(self, stream, ts=None):  # line 18: renamed params
+        return stream
+
+
+@register("fixture-revived-shim")
+class RevivedShim(Partitioner):
+    def route(self, key, now=0.0):
+        return 0
+
+    def route_chunk(self, keys, timestamps=None):
+        return keys
+
+    def route_stream(self, keys, timestamps=None):  # line 30: removed API
+        return self.route_chunk(keys, timestamps)

@@ -1,0 +1,20 @@
+"""REPRO003 fixture: a contract-conforming registered scheme."""
+
+from repro.api.registry import register
+from repro.partitioning.base import Partitioner
+
+
+@register("fixture-good")
+class GoodScheme(Partitioner):
+    def route(self, key, now=0.0):
+        return 0
+
+    def route_chunk(self, keys, timestamps=None):
+        return keys
+
+
+class UnregisteredHelper:
+    """Not @register-ed, so the contract does not apply."""
+
+    def route_chunk(self, anything, at_all=0):
+        return anything

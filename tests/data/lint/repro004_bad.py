@@ -1,0 +1,14 @@
+"""REPRO004 fixture: unpicklable functions handed to parallel_map."""
+
+from repro.core.parallel import parallel_map
+
+
+def run_sweep(cells, jobs):
+    return parallel_map(lambda cell: cell * 2, cells, jobs=jobs)  # line 7
+
+
+def run_closure_sweep(cells, jobs, factor):
+    def scaled_cell(cell):  # nested => closure
+        return cell * factor
+
+    return parallel_map(scaled_cell, cells, jobs=jobs)  # line 14

@@ -1,0 +1,16 @@
+"""REPRO004 fixture: module-level cell functions pickle fine."""
+
+from repro.core.parallel import parallel_map
+
+
+def _double_cell(cell):
+    return cell * 2
+
+
+def run_sweep(cells, jobs):
+    return parallel_map(_double_cell, cells, jobs=jobs)
+
+
+def local_map_is_fine(cells):
+    # builtin map with a lambda never crosses a process boundary.
+    return list(map(lambda c: c * 2, cells))

@@ -1,0 +1,20 @@
+"""REPRO005 fixture: spec strings that do not resolve via the registry."""
+
+from repro.api import run
+from repro.api.registry import make_partitioner, resolve_scheme_name
+
+
+def unknown_scheme():
+    return make_partitioner("pkgg:d=3", 8)  # line 8: typo'd name
+
+
+def unknown_param():
+    return make_partitioner("pkg:workers=8", 8)  # line 12: bad param
+
+
+def resolve_typo():
+    return resolve_scheme_name("partial-kg")  # line 16: unknown alias
+
+
+def facade_typo(keys):
+    return run("kg-rebalancing:interval=100", keys=keys, num_workers=4)  # line 20

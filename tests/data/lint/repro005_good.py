@@ -1,0 +1,20 @@
+"""REPRO005 fixture: resolvable specs and non-literal calls pass."""
+
+from repro.api.registry import make_partitioner
+
+
+def plain_scheme():
+    return make_partitioner("pkg", 8)
+
+
+def parameterised_scheme():
+    return make_partitioner("kg-rebalance:interval=500,threshold=0.25", 6)
+
+
+def aliased_param():
+    return make_partitioner("pkg:d=3", 8)
+
+
+def dynamic_spec(spec):
+    # Non-literal first arguments are out of static reach.
+    return make_partitioner(spec, 8)

@@ -1,0 +1,23 @@
+"""Suppression fixture: every finding here is noqa'd away but one."""
+
+import random
+
+import numpy as np
+from repro.api.registry import make_partitioner
+
+
+def bare_noqa():
+    return np.random.default_rng()  # repro: noqa
+
+
+def scoped_noqa():
+    return random.random()  # repro: noqa[REPRO001]
+
+
+def multi_rule_noqa():
+    return make_partitioner("no-such-scheme", 4)  # repro: noqa[REPRO001,REPRO005]
+
+
+def wrong_rule_noqa():
+    # Suppressing a different rule does NOT hide the REPRO001 finding.
+    return np.random.default_rng()  # repro: noqa[REPRO005]

@@ -80,9 +80,9 @@ class TestAliases:
 
     def test_unknown_scheme_lists_known(self):
         with pytest.raises(ValueError, match="unknown partitioning scheme"):
-            make_partitioner("magic", 4)
+            make_partitioner("magic", 4)  # repro: noqa[REPRO005]
         with pytest.raises(ValueError, match="pkg"):
-            make_partitioner("magic", 4)
+            make_partitioner("magic", 4)  # repro: noqa[REPRO005]
 
 
 class TestSpecStrings:
@@ -128,13 +128,13 @@ class TestSpecStrings:
 
     def test_unknown_param_raises_with_valid_list(self):
         with pytest.raises(ValueError, match="does not accept parameter"):
-            make_partitioner("pkg:bogus=1", 4)
+            make_partitioner("pkg:bogus=1", 4)  # repro: noqa[REPRO005]
         with pytest.raises(ValueError, match="num_choices"):
-            make_partitioner("pkg:bogus=1", 4)
+            make_partitioner("pkg:bogus=1", 4)  # repro: noqa[REPRO005]
 
     def test_param_on_scheme_without_it_raises(self):
         with pytest.raises(ValueError):
-            make_partitioner("sg:d=3", 4)
+            make_partitioner("sg:d=3", 4)  # repro: noqa[REPRO005]
 
 
 class TestKwargOverrides:

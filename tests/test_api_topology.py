@@ -48,7 +48,7 @@ class TestValidation:
 
     def test_unknown_scheme_fails_fast(self):
         with pytest.raises(ValueError, match="unknown partitioning scheme"):
-            Topology().partition_by("magic")
+            Topology().partition_by("magic")  # repro: noqa[REPRO005]
 
     def test_straggler_validation(self):
         with pytest.raises(TopologyError):

@@ -1,0 +1,240 @@
+"""Tests for repro.lint: rules, suppressions, engine, and CLI.
+
+Fixture files under ``tests/data/lint/`` carry known-good and
+known-bad snippets per rule; the assertions here pin exact rule ids
+and line numbers so a rule regression cannot pass silently.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, PARSE_ERROR, Finding, lint_file, lint_paths
+from repro.lint.engine import DEFAULT_EXCLUDED_DIRS, iter_lintable_files
+from repro.lint.suppressions import SuppressionIndex
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "data" / "lint"
+
+
+def hits(path, rule=None):
+    """(rule, line) pairs from linting ``path``, optionally one rule."""
+    findings = lint_file(str(path))
+    if rule is not None:
+        findings = [f for f in findings if f.rule == rule]
+    return [(f.rule, f.line) for f in findings]
+
+
+class TestRuleTable:
+    def test_ids_are_unique_and_ordered(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert ids == sorted(set(ids))
+        assert ids == ["REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"]
+
+    def test_every_rule_documents_itself(self):
+        for rule in ALL_RULES:
+            assert rule.name and rule.description
+
+
+class TestRepro001:
+    def test_bad_fixture_lines(self):
+        assert hits(FIXTURES / "repro001_bad.py") == [
+            ("REPRO001", 10),  # default_rng() no seed
+            ("REPRO001", 14),  # RandomState() no seed
+            ("REPRO001", 18),  # np.random.rand
+            ("REPRO001", 22),  # np.random.seed
+            ("REPRO001", 26),  # random.random
+            ("REPRO001", 30),  # random.choice
+            ("REPRO001", 34),  # default_rng() via from-import
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert hits(FIXTURES / "repro001_good.py") == []
+
+
+class TestRepro002:
+    def test_bad_fixture_lines(self):
+        assert hits(FIXTURES / "core" / "repro002_bad.py") == [
+            ("REPRO002", 9),  # builtin hash()
+            ("REPRO002", 13),  # time.time
+            ("REPRO002", 17),  # perf_counter via from-import
+            ("REPRO002", 21),  # datetime.now
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert hits(FIXTURES / "core" / "repro002_good.py") == []
+
+    def test_rule_only_applies_on_hot_paths(self, tmp_path):
+        # Same impurities outside a hot-path directory are not flagged.
+        src = (FIXTURES / "core" / "repro002_bad.py").read_text()
+        cold = tmp_path / "harness" / "bench.py"
+        cold.parent.mkdir()
+        cold.write_text(src)
+        assert hits(cold) == []
+
+
+class TestRepro003:
+    def test_bad_fixture_lines(self):
+        assert hits(FIXTURES / "repro003_bad.py") == [
+            ("REPRO003", 8),  # no route_chunk
+            ("REPRO003", 18),  # wrong signature
+            ("REPRO003", 30),  # revived route_stream
+        ]
+
+    def test_good_fixture_is_clean(self):
+        # Conforming scheme passes; unregistered class is out of scope.
+        assert hits(FIXTURES / "repro003_good.py") == []
+
+
+class TestRepro004:
+    def test_bad_fixture_lines(self):
+        assert hits(FIXTURES / "repro004_bad.py") == [
+            ("REPRO004", 7),  # lambda
+            ("REPRO004", 14),  # closure
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert hits(FIXTURES / "repro004_good.py") == []
+
+
+class TestRepro005:
+    def test_bad_fixture_lines(self):
+        assert hits(FIXTURES / "repro005_bad.py") == [
+            ("REPRO005", 8),  # typo'd scheme
+            ("REPRO005", 12),  # unknown parameter
+            ("REPRO005", 16),  # resolve_scheme_name typo
+            ("REPRO005", 20),  # run(...) facade typo
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert hits(FIXTURES / "repro005_good.py") == []
+
+    def test_markdown_specs(self):
+        assert hits(FIXTURES / "specs_bad.md") == [
+            ("REPRO005", 9),
+            ("REPRO005", 10),
+        ]
+
+    def test_messages_name_the_registry(self):
+        findings = lint_file(str(FIXTURES / "repro005_bad.py"))
+        assert "pkg" in findings[0].message  # known schemes listed
+        assert "valid parameters" in findings[1].message
+
+
+class TestSuppressions:
+    def test_fixture_noqa_behaviour(self):
+        # bare noqa, scoped noqa and multi-rule noqa all suppress;
+        # a noqa for the *wrong* rule does not.
+        assert hits(FIXTURES / "suppressed.py") == [("REPRO001", 23)]
+
+    def test_index_parses_rule_lists(self):
+        idx = SuppressionIndex(
+            "x = 1  # repro: noqa\n"
+            "y = 2  # repro: noqa[REPRO001, REPRO004]\n"
+        )
+        blanket = Finding(path="f", line=1, col=1, rule="REPRO999", message="m")
+        scoped_hit = Finding(path="f", line=2, col=1, rule="REPRO004", message="m")
+        scoped_miss = Finding(path="f", line=2, col=1, rule="REPRO002", message="m")
+        assert idx.is_suppressed(blanket)
+        assert idx.is_suppressed(scoped_hit)
+        assert not idx.is_suppressed(scoped_miss)
+
+    def test_parse_errors_are_never_suppressed(self):
+        idx = SuppressionIndex("bad syntax  # repro: noqa\n")
+        err = Finding(path="f", line=1, col=1, rule=PARSE_ERROR, message="m")
+        assert not idx.is_suppressed(err)
+
+
+class TestEngine:
+    def test_syntax_error_yields_parse_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        findings = lint_file(str(broken))
+        assert [f.rule for f in findings] == [PARSE_ERROR]
+
+    def test_walker_skips_data_dirs(self):
+        # `python -m repro.lint src tests` must not trip over this
+        # fixture corpus: dirs named "data" are pruned while walking...
+        assert "data" in DEFAULT_EXCLUDED_DIRS
+        walked = list(iter_lintable_files([str(REPO_ROOT / "tests")]))
+        assert not any("data" in Path(p).parts for p in walked)
+
+    def test_explicit_paths_beat_exclusion(self):
+        # ...but passing the corpus explicitly lints it.
+        walked = list(iter_lintable_files([str(FIXTURES)]))
+        assert any(p.endswith("repro001_bad.py") for p in walked)
+        assert any(p.endswith("specs_bad.md") for p in walked)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_lintable_files(["no/such/path"]))
+
+    def test_select_filters_rules(self):
+        findings = lint_paths([str(FIXTURES)], select=["REPRO004"])
+        assert findings and all(f.rule == "REPRO004" for f in findings)
+
+    def test_ignore_filters_rules(self):
+        findings = lint_paths([str(FIXTURES)], ignore=["REPRO001", "REPRO005"])
+        assert findings
+        assert not any(f.rule in ("REPRO001", "REPRO005") for f in findings)
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="REPRO9"):
+            lint_paths([str(FIXTURES)], select=["REPRO9"])
+
+    def test_findings_sorted_and_formatted(self):
+        findings = lint_paths([str(FIXTURES)])
+        assert findings == sorted(findings)
+        line = findings[0].format()
+        assert findings[0].path in line and findings[0].rule in line
+
+    def test_repo_is_lint_clean(self):
+        # The merge gate: src + tests (fixtures pruned) have no findings.
+        findings = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+        assert findings == []
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli("src", "tests")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_fixture_corpus_exits_one_with_all_rules(self):
+        proc = run_cli("tests/data/lint")
+        assert proc.returncode == 1
+        for rule_id in ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"):
+            assert rule_id in proc.stdout
+
+    def test_json_format(self):
+        proc = run_cli("tests/data/lint", "--format", "json", "--select", "REPRO004")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert [(f["rule"], f["line"]) for f in payload] == [
+            ("REPRO004", 7),
+            ("REPRO004", 14),
+        ]
+        assert all(set(f) == {"path", "line", "col", "rule", "message"} for f in payload)
+
+    def test_unknown_rule_is_usage_error(self):
+        proc = run_cli("src", "--select", "NOPE01")
+        assert proc.returncode == 2
+        assert "NOPE01" in proc.stderr
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule in ALL_RULES:
+            assert rule.id in proc.stdout

@@ -108,34 +108,11 @@ class TestShuffleGrouping:
         assert sg.route("k") == 0
 
 
-class TestRouteStreamDeprecation:
-    def test_route_stream_warns_and_delegates(self):
+class TestRouteStreamRemoved:
+    def test_route_stream_is_gone(self):
+        # The deprecated whole-stream shim was removed; route_chunk /
+        # repro.core.engine.route_chunked are the only stream paths.
+        assert not hasattr(Partitioner, "route_stream")
         kg = KeyGrouping(6, seed=1)
-        keys = np.arange(100, dtype=np.int64)
-        with pytest.warns(DeprecationWarning, match="route_chunk"):
-            routed = kg.route_stream(keys)
-        assert np.array_equal(routed, KeyGrouping(6, seed=1).route_chunk(keys))
-
-    def test_route_stream_warning_points_at_caller(self):
-        # stacklevel must attribute the deprecation to the *calling*
-        # file, not to partitioning/base.py, so migration is greppable.
-        import warnings
-
-        kg = KeyGrouping(3, seed=0)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            kg.route_stream(np.arange(10, dtype=np.int64))
-        assert len(caught) == 1
-        assert caught[0].filename == __file__
-
-    def test_route_stream_honours_timestamps(self):
-        from repro.load import ProbingLoadEstimator, WorkerLoadRegistry
-        from repro.partitioning import PartialKeyGrouping
-
-        registry = WorkerLoadRegistry(4)
-        estimator = ProbingLoadEstimator(4, registry, period=10.0)
-        pkg = PartialKeyGrouping(4, estimator=estimator, seed=0)
-        times = np.linspace(0, 100, 50)
-        with pytest.warns(DeprecationWarning):
-            pkg.route_stream(np.arange(50, dtype=np.int64), times)
-        assert estimator.probes >= 1
+        with pytest.raises(AttributeError):
+            kg.route_stream(np.arange(100, dtype=np.int64))
