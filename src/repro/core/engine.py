@@ -556,19 +556,49 @@ class EventLoop:
 
         Events scheduled exactly at ``end_time`` are processed.  The
         clock is left at ``end_time`` (or at the last event if the heap
-        drains first).
+        drains first).  When ``max_events`` stops the run early --
+        eligible events still pending -- the clock stays at the last
+        processed event, so a subsequent ``run_until`` resumes exactly
+        where this one stopped instead of declaring the skipped events
+        to be in the past.  ``max_events=0`` processes nothing.
         """
+        if max_events is not None and max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
         processed = 0
         heap = self._heap
         while heap and heap[0][0] <= end_time:
+            if max_events is not None and processed >= max_events:
+                self._processed += processed
+                return processed
             time, _seq, callback = heapq.heappop(heap)
             self.now = time
             callback()
             processed += 1
-            if max_events is not None and processed >= max_events:
-                break
         if self.now < end_time:
             self.now = end_time
+        self._processed += processed
+        return processed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the heap completely; returns events processed.
+
+        Unlike :meth:`run_until` there is no target time: the clock is
+        left at the last processed event (events may schedule further
+        events, all of which run).  The open-loop queueing simulator
+        (:mod:`repro.queueing`) uses this to run an arrival schedule to
+        completion without inventing an artificial horizon.
+        """
+        if max_events is not None and max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        processed = 0
+        heap = self._heap
+        while heap:
+            if max_events is not None and processed >= max_events:
+                break
+            time, _seq, callback = heapq.heappop(heap)
+            self.now = time
+            callback()
+            processed += 1
         self._processed += processed
         return processed
 

@@ -14,6 +14,7 @@ fig4      uniform vs skewed source splits on graph streams
 fig5a     cluster throughput/latency vs per-key CPU delay
 fig5b     cluster throughput vs memory across aggregation periods
 extras    Jaccard(G, L), d-choices ablation, probing ablation
+latency   excess p99/p999 sojourn vs offered load (queueing)
 ========  =====================================================
 """
 
@@ -35,6 +36,11 @@ from repro.experiments.extras import (
     summarize_dchoices,
     summarize_jaccard,
     summarize_probing,
+)
+from repro.experiments.latency import (
+    format_latency,
+    run_latency,
+    summarize_latency,
 )
 
 __all__ = [
@@ -59,6 +65,8 @@ __all__ = [
     "format_dchoices",
     "run_probing_ablation",
     "format_probing",
+    "run_latency",
+    "format_latency",
     "summarize_table1",
     "summarize_table2",
     "summarize_fig2",
@@ -69,4 +77,5 @@ __all__ = [
     "summarize_jaccard",
     "summarize_dchoices",
     "summarize_probing",
+    "summarize_latency",
 ]

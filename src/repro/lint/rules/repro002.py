@@ -33,6 +33,7 @@ HOT_PATH_PARTS: Tuple[str, ...] = (
     "hashing",
     "load",
     "sketches",
+    "queueing",
 )
 
 #: wall-clock reads (resolved dotted names).

@@ -29,6 +29,7 @@ from repro.partitioning.consistent import (
     ConsistentPartialKeyGrouping,
     HashRing,
 )
+from repro.partitioning.jbsq import JoinBoundedShortestQueue
 
 __all__ = [
     "Partitioner",
@@ -43,4 +44,5 @@ __all__ = [
     "HashRing",
     "ConsistentKeyGrouping",
     "ConsistentPartialKeyGrouping",
+    "JoinBoundedShortestQueue",
 ]

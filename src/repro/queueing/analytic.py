@@ -1,0 +1,130 @@
+"""Closed-form queueing predictions the simulator must reproduce.
+
+The simulator in :mod:`repro.queueing.simulator` is only trustworthy if
+it matches queueing theory where queueing theory has answers.  This
+module holds those answers:
+
+* **M/M/1** -- mean waiting ``W_q = rho / (mu - lambda)`` and mean
+  sojourn ``T = 1 / (mu - lambda)``; the sojourn distribution is
+  exponential, so every quantile is closed-form too;
+* **M/G/1 (Pollaczek-Khinchine)** -- mean waiting
+  ``W_q = rho (1 + C_s^2) / (2 (1 - rho)) * E[S]``, covering the
+  deterministic and bimodal service distributions;
+* **M/M/c (Erlang C)** -- probability of waiting and mean waiting time
+  for ``c`` servers sharing one FIFO queue.
+
+``tests/test_queueing_analytic.py`` sweeps utilization and asserts the
+simulated means land within tolerance of these expressions -- the
+"proven, not plausible" contract of the latency evaluation layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "mm1_mean_waiting",
+    "mm1_mean_sojourn",
+    "mm1_sojourn_quantile",
+    "mg1_mean_waiting",
+    "erlang_c",
+    "mmc_mean_waiting",
+    "mmc_mean_sojourn",
+]
+
+
+def _check_stable(arrival_rate: float, capacity: float) -> None:
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    if arrival_rate >= capacity:
+        raise ValueError(
+            f"unstable system: arrival rate {arrival_rate} >= service "
+            f"capacity {capacity}"
+        )
+
+
+def mm1_mean_waiting(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in queue (excluding service) of an M/M/1 system."""
+    _check_stable(arrival_rate, service_rate)
+    rho = arrival_rate / service_rate
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in system (queue + service): ``1 / (mu - lambda)``."""
+    _check_stable(arrival_rate, service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_sojourn_quantile(
+    arrival_rate: float, service_rate: float, q: float
+) -> float:
+    """Sojourn quantile of M/M/1: the sojourn is Exp(mu - lambda)."""
+    _check_stable(arrival_rate, service_rate)
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"quantile must be in [0, 1), got {q}")
+    return -math.log(1.0 - q) / (service_rate - arrival_rate)
+
+
+def mg1_mean_waiting(
+    arrival_rate: float, service_mean: float, service_scv: float
+) -> float:
+    """Pollaczek-Khinchine mean waiting time of an M/G/1 system.
+
+    ``W_q = rho (1 + C_s^2) / (2 (1 - rho)) * E[S]`` where ``C_s^2`` is
+    the service distribution's squared coefficient of variation
+    (:attr:`~repro.queueing.service.ServiceTimeDistribution.scv`).
+    Reduces to the M/M/1 formula at ``C_s^2 = 1`` and to the M/D/1
+    half-wait at ``C_s^2 = 0``.
+    """
+    if service_mean <= 0:
+        raise ValueError(f"service mean must be positive, got {service_mean}")
+    if service_scv < 0:
+        raise ValueError(f"service scv must be >= 0, got {service_scv}")
+    _check_stable(arrival_rate, 1.0 / service_mean)
+    rho = arrival_rate * service_mean
+    return rho * (1.0 + service_scv) / (2.0 * (1.0 - rho)) * service_mean
+
+
+def erlang_c(num_servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait (M/M/c).
+
+    ``offered_load`` is ``a = lambda / mu`` in Erlangs; requires
+    ``a < c`` for stability.  Computed with the numerically stable
+    iterative form (no explicit factorials).
+    """
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    if offered_load <= 0:
+        raise ValueError(f"offered load must be positive, got {offered_load}")
+    if offered_load >= num_servers:
+        raise ValueError(
+            f"unstable system: offered load {offered_load} >= servers "
+            f"{num_servers}"
+        )
+    # Iteratively build the Erlang-B blocking probability, then convert.
+    blocking = 1.0
+    for k in range(1, num_servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / num_servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def mmc_mean_waiting(
+    arrival_rate: float, service_rate: float, num_servers: int
+) -> float:
+    """Mean time in queue of an M/M/c system (Erlang-C formula)."""
+    _check_stable(arrival_rate, service_rate * num_servers)
+    offered_load = arrival_rate / service_rate
+    wait_probability = erlang_c(num_servers, offered_load)
+    return wait_probability / (num_servers * service_rate - arrival_rate)
+
+
+def mmc_mean_sojourn(
+    arrival_rate: float, service_rate: float, num_servers: int
+) -> float:
+    """Mean time in system of an M/M/c system."""
+    return (
+        mmc_mean_waiting(arrival_rate, service_rate, num_servers)
+        + 1.0 / service_rate
+    )

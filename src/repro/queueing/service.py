@@ -1,0 +1,122 @@
+"""Service-time distributions: how long each message occupies a worker.
+
+The paper's cluster experiments (Figure 5) fix a constant per-key CPU
+delay; a queueing evaluation needs the full distribution, because tail
+latency at fixed utilization is driven by service *variability* (the
+``(1 + C_s^2)/2`` factor in Pollaczek-Khinchine).  Each distribution
+exposes its exact ``mean`` (how the sweep converts a utilization target
+into an arrival rate) and squared coefficient of variation ``scv``
+(what the closed-form checks in :mod:`repro.queueing.analytic` need),
+and samples through an explicit :class:`numpy.random.Generator`
+(REPRO001).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "ServiceTimeDistribution",
+    "ExponentialService",
+    "DeterministicService",
+    "BimodalService",
+]
+
+
+class ServiceTimeDistribution(ABC):
+    """Positive i.i.d. per-message service requirements."""
+
+    #: exact mean service time E[S] in simulated seconds.
+    mean: float
+
+    @property
+    @abstractmethod
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var[S] / E[S]^2``."""
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` service times (float64, strictly positive)."""
+
+    def _check(self, mean: float) -> float:
+        if mean <= 0:
+            raise ValueError(f"mean service time must be positive, got {mean}")
+        return float(mean)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mean={self.mean:g})"
+
+
+class ExponentialService(ServiceTimeDistribution):
+    """Exponential service (the M/M/· case): ``scv = 1``."""
+
+    def __init__(self, mean: float) -> None:
+        self.mean = self._check(mean)
+
+    @property
+    def scv(self) -> float:
+        return 1.0
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        out: np.ndarray = rng.exponential(scale=self.mean, size=n)
+        return out
+
+
+class DeterministicService(ServiceTimeDistribution):
+    """Constant service (the M/D/· case): ``scv = 0``."""
+
+    def __init__(self, mean: float) -> None:
+        self.mean = self._check(mean)
+
+    @property
+    def scv(self) -> float:
+        return 0.0
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.mean, dtype=np.float64)
+
+
+class BimodalService(ServiceTimeDistribution):
+    """Two-point service mix: fast requests with occasional slow ones.
+
+    The classic "RPC with a slow path" shape (cf. the bimodal service
+    generators in queueing studies of microsecond-scale RPCs): a
+    fraction ``slow_fraction`` of messages take ``slow`` seconds, the
+    rest take ``fast``.  High ``scv`` at a modest mean, which is what
+    separates tail-latency winners from mean-latency winners.
+    """
+
+    def __init__(self, fast: float, slow: float, slow_fraction: float) -> None:
+        if fast <= 0 or slow <= 0:
+            raise ValueError(
+                f"service times must be positive, got fast={fast}, slow={slow}"
+            )
+        if slow < fast:
+            raise ValueError(f"slow ({slow}) must be >= fast ({fast})")
+        if not 0.0 <= slow_fraction <= 1.0:
+            raise ValueError(
+                f"slow_fraction must be in [0, 1], got {slow_fraction}"
+            )
+        self.fast = float(fast)
+        self.slow = float(slow)
+        self.slow_fraction = float(slow_fraction)
+        self.mean = self.fast + (self.slow - self.fast) * self.slow_fraction
+
+    @property
+    def scv(self) -> float:
+        p = self.slow_fraction
+        second_moment = (1.0 - p) * self.fast**2 + p * self.slow**2
+        variance = second_moment - self.mean**2
+        return variance / self.mean**2
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        slow_mask = rng.random(n) < self.slow_fraction
+        return np.where(slow_mask, self.slow, self.fast)
+
+    def __repr__(self) -> str:
+        return (
+            f"BimodalService(fast={self.fast:g}, slow={self.slow:g}, "
+            f"slow_fraction={self.slow_fraction:g})"
+        )

@@ -1,0 +1,334 @@
+"""Open-loop queueing simulation layered on the deterministic EventLoop.
+
+This is the measurement instrument behind every latency figure: W
+workers, each a bounded FIFO queue in front of a single server, fed by
+a seeded arrival process and routed by any registered
+:class:`~repro.partitioning.base.Partitioner`.  Per-message sojourn
+times (arrival to departure) land in per-worker
+:class:`~repro.queueing.latency.LatencyStore` sketches that merge into
+one cluster-wide store.
+
+Mechanics:
+
+* arrival and service times are drawn **up front** from one seeded
+  generator, so a run is a pure function of
+  ``(keys, partitioner, arrivals, service, seed)`` -- identical across
+  processes and job counts;
+* each arrival routes through ``partitioner.route(key, now)`` at its
+  arrival instant, so queue-depth-aware schemes (``jbsq``) observe the
+  true instantaneous backlog;
+* partitioners exposing an ``on_complete(worker, now)`` hook (the
+  :class:`~repro.partitioning.jbsq.JoinBoundedShortestQueue` feedback
+  channel) are notified at every departure and drop;
+* a full queue drops the arrival (counted per worker); ``None``
+  capacity means unbounded (what the analytic validation uses).
+
+:func:`simulate_mmc` is the shared-queue sibling -- ``c`` servers
+draining one FIFO -- whose only purpose is validation against the
+Erlang-C closed form in :mod:`repro.queueing.analytic`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, cast
+
+import numpy as np
+
+from repro.core.chunks import KeyStream, as_key_array
+from repro.core.engine import EventLoop
+from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
+from repro.queueing.latency import DEFAULT_RELATIVE_ERROR, LatencyStore
+from repro.queueing.service import ServiceTimeDistribution
+
+if TYPE_CHECKING:
+    from repro.partitioning.base import Partitioner
+
+__all__ = ["QueueingResult", "simulate_queueing", "simulate_mmc"]
+
+#: the departure-feedback hook queue-aware partitioners may expose.
+CompletionHook = Callable[[int, float], None]
+
+
+@dataclass
+class QueueingResult:
+    """Outcome of one queueing simulation."""
+
+    num_workers: int
+    num_messages: int
+    #: messages that finished service (dropped ones never do)
+    completed: int
+    dropped: int
+    #: simulated time of the last departure
+    end_time: float
+    #: merged sojourn sketch over all workers (post-warmup samples)
+    latency: LatencyStore
+    #: merged *waiting* sketch: sojourn minus the message's own service
+    #: time, the quantity the closed-form W_q predictions speak about
+    waiting: LatencyStore
+    #: per-worker sojourn sketches (what :attr:`latency` merged)
+    worker_latency: List[LatencyStore]
+    #: per-worker total service time actually performed
+    busy_time: np.ndarray
+    dropped_per_worker: np.ndarray
+    #: leading messages excluded from the latency sketches
+    warmup_messages: int
+
+    @property
+    def utilization(self) -> float:
+        """Realised cluster utilization: busy time over W * end_time."""
+        if self.end_time <= 0:
+            return 0.0
+        return float(self.busy_time.sum()) / (self.num_workers * self.end_time)
+
+    @property
+    def worker_utilization(self) -> np.ndarray:
+        """Per-worker realised utilization."""
+        if self.end_time <= 0:
+            return np.zeros(self.num_workers, dtype=np.float64)
+        out: np.ndarray = self.busy_time / self.end_time
+        return out
+
+    def mean_sojourn(self) -> float:
+        return self.latency.mean()
+
+    def mean_waiting(self) -> float:
+        """Exact mean of per-message waiting times (post-warmup)."""
+        return self.waiting.mean()
+
+    def sojourn_quantile(self, q: float) -> float:
+        return self.latency.quantile(q)
+
+
+def _result(
+    num_workers: int,
+    num_messages: int,
+    completed: int,
+    dropped: int,
+    end_time: float,
+    buffers: List[List[float]],
+    waiting_buffers: List[List[float]],
+    busy_time: np.ndarray,
+    dropped_per_worker: np.ndarray,
+    warmup_messages: int,
+    relative_error: float,
+) -> QueueingResult:
+    stores: List[LatencyStore] = []
+    for buffer in buffers:
+        store = LatencyStore(relative_error)
+        store.record_many(np.asarray(buffer, dtype=np.float64))
+        stores.append(store)
+    waiting = LatencyStore(relative_error)
+    for buffer in waiting_buffers:
+        waiting.record_many(np.asarray(buffer, dtype=np.float64))
+    return QueueingResult(
+        num_workers=num_workers,
+        num_messages=num_messages,
+        completed=completed,
+        dropped=dropped,
+        end_time=end_time,
+        latency=LatencyStore.merge_all(stores),
+        waiting=waiting,
+        worker_latency=stores,
+        busy_time=busy_time,
+        dropped_per_worker=dropped_per_worker,
+        warmup_messages=warmup_messages,
+    )
+
+
+def _warmup_count(warmup_fraction: float, num_messages: int) -> int:
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    return int(warmup_fraction * num_messages)
+
+
+def simulate_queueing(
+    keys: KeyStream,
+    partitioner: "Partitioner",
+    arrivals: ArrivalProcess,
+    service: ServiceTimeDistribution,
+    *,
+    seed: int,
+    queue_capacity: Optional[int] = None,
+    warmup_fraction: float = 0.0,
+    relative_error: float = DEFAULT_RELATIVE_ERROR,
+) -> QueueingResult:
+    """Run one keyed stream through partitioned per-worker FIFO queues.
+
+    ``queue_capacity`` bounds each worker's backlog *including* the
+    message in service; arrivals beyond it are dropped (and reported),
+    never re-queued.  ``warmup_fraction`` excludes the leading fraction
+    of messages from the latency sketches so transient ramp-up does not
+    bias steady-state tails.
+    """
+    key_array = as_key_array(keys)
+    n = int(key_array.size)
+    if queue_capacity is not None and queue_capacity < 1:
+        raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+    warmup = _warmup_count(warmup_fraction, n)
+    num_workers = partitioner.num_workers
+
+    rng = np.random.default_rng(seed)
+    arrival_times = arrivals.arrival_times(n, rng).tolist()
+    service_times = service.sample(n, rng).tolist()
+
+    loop = EventLoop()
+    queues: List[Deque[int]] = [deque() for _ in range(num_workers)]
+    busy = [False] * num_workers
+    busy_time = np.zeros(num_workers, dtype=np.float64)
+    dropped_per_worker = np.zeros(num_workers, dtype=np.int64)
+    buffers: List[List[float]] = [[] for _ in range(num_workers)]
+    waiting_buffers: List[List[float]] = [[] for _ in range(num_workers)]
+    completed = 0
+    dropped = 0
+    on_complete = cast(
+        Optional[CompletionHook], getattr(partitioner, "on_complete", None)
+    )
+
+    def start_service(worker: int) -> None:
+        index = queues[worker].popleft()
+        busy[worker] = True
+        duration = service_times[index]
+        busy_time[worker] += duration
+        loop.schedule(duration, lambda: depart(worker, index))
+
+    def depart(worker: int, index: int) -> None:
+        nonlocal completed
+        completed += 1
+        if index >= warmup:
+            sojourn = loop.now - arrival_times[index]
+            buffers[worker].append(sojourn)
+            waiting_buffers[worker].append(sojourn - service_times[index])
+        if on_complete is not None:
+            on_complete(worker, loop.now)
+        if queues[worker]:
+            start_service(worker)
+        else:
+            busy[worker] = False
+
+    def arrive(index: int) -> None:
+        nonlocal dropped
+        if index + 1 < n:
+            loop.schedule_at(
+                arrival_times[index + 1], lambda: arrive(index + 1)
+            )
+        worker = int(partitioner.route(key_array[index], loop.now))
+        backlog = len(queues[worker]) + (1 if busy[worker] else 0)
+        if queue_capacity is not None and backlog >= queue_capacity:
+            dropped += 1
+            dropped_per_worker[worker] += 1
+            # the message never occupies the worker: release any
+            # outstanding-work credit the routing decision charged.
+            if on_complete is not None:
+                on_complete(worker, loop.now)
+            return
+        queues[worker].append(index)
+        if not busy[worker]:
+            start_service(worker)
+
+    if n:
+        loop.schedule_at(arrival_times[0], lambda: arrive(0))
+    loop.run()
+
+    return _result(
+        num_workers,
+        n,
+        completed,
+        dropped,
+        loop.now if n else 0.0,
+        buffers,
+        waiting_buffers,
+        busy_time,
+        dropped_per_worker,
+        warmup,
+        relative_error,
+    )
+
+
+def simulate_mmc(
+    arrival_rate: float,
+    service: ServiceTimeDistribution,
+    num_servers: int,
+    num_messages: int,
+    *,
+    seed: int,
+    warmup_fraction: float = 0.0,
+    relative_error: float = DEFAULT_RELATIVE_ERROR,
+) -> QueueingResult:
+    """Simulate M/G/c: Poisson arrivals, one FIFO queue, ``c`` servers.
+
+    The validation workload: with exponential service this is M/M/c and
+    its mean waiting time has the Erlang-C closed form
+    (:func:`repro.queueing.analytic.mmc_mean_waiting`); with ``c = 1``
+    and general service it is M/G/1 (Pollaczek-Khinchine).  Shares the
+    EventLoop, sketch, and accounting machinery with
+    :func:`simulate_queueing`, so agreement here vouches for the
+    partitioned simulator's mechanics too.
+    """
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    if num_messages < 0:
+        raise ValueError(f"num_messages must be >= 0, got {num_messages}")
+    n = int(num_messages)
+    warmup = _warmup_count(warmup_fraction, n)
+
+    rng = np.random.default_rng(seed)
+    arrival_times = PoissonArrivals(arrival_rate).arrival_times(n, rng).tolist()
+    service_times = service.sample(n, rng).tolist()
+
+    loop = EventLoop()
+    queue: Deque[int] = deque()
+    idle: List[int] = list(range(num_servers))  # ascending; pop from front
+    busy_time = np.zeros(num_servers, dtype=np.float64)
+    buffers: List[List[float]] = [[] for _ in range(num_servers)]
+    waiting_buffers: List[List[float]] = [[] for _ in range(num_servers)]
+    completed = 0
+
+    def start_service(server: int, index: int) -> None:
+        duration = service_times[index]
+        busy_time[server] += duration
+        loop.schedule(duration, lambda: depart(server, index))
+
+    def depart(server: int, index: int) -> None:
+        nonlocal completed
+        completed += 1
+        if index >= warmup:
+            sojourn = loop.now - arrival_times[index]
+            buffers[server].append(sojourn)
+            waiting_buffers[server].append(sojourn - service_times[index])
+        if queue:
+            start_service(server, queue.popleft())
+        else:
+            idle.append(server)
+            idle.sort()
+
+    def arrive(index: int) -> None:
+        if index + 1 < n:
+            loop.schedule_at(
+                arrival_times[index + 1], lambda: arrive(index + 1)
+            )
+        if idle:
+            start_service(idle.pop(0), index)
+        else:
+            queue.append(index)
+
+    if n:
+        loop.schedule_at(arrival_times[0], lambda: arrive(0))
+    loop.run()
+
+    return _result(
+        num_servers,
+        n,
+        completed,
+        0,
+        loop.now if n else 0.0,
+        buffers,
+        waiting_buffers,
+        busy_time,
+        np.zeros(num_servers, dtype=np.int64),
+        warmup,
+        relative_error,
+    )

@@ -25,6 +25,7 @@ from repro.experiments import (
     format_fig5a,
     format_fig5b,
     format_jaccard,
+    format_latency,
     format_probing,
     format_table1,
     format_table2,
@@ -35,6 +36,7 @@ from repro.experiments import (
     run_fig5a,
     run_fig5b,
     run_jaccard,
+    run_latency,
     run_probing_ablation,
     run_table1,
     run_table2,
@@ -45,12 +47,14 @@ from repro.experiments import (
     summarize_fig5a,
     summarize_fig5b,
     summarize_jaccard,
+    summarize_latency,
     summarize_probing,
     summarize_table1,
     summarize_table2,
 )
 from repro.experiments.extras import DChoicesRow, JaccardRow, ProbingRow
 from repro.experiments.fig2 import Fig2Row
+from repro.experiments.latency import LatencyRow
 from repro.experiments.fig3 import Fig3Series
 from repro.experiments.fig4 import Fig4Row
 from repro.experiments.fig5a import Fig5aRow
@@ -181,6 +185,15 @@ def _metrics_probing(rows: List[ProbingRow]) -> List[Metric]:
     ]
 
 
+def _metrics_latency(rows: List[LatencyRow]) -> List[Metric]:
+    out = []
+    for r in rows:
+        key = f"{r.scheme},rho={r.utilization:g}"
+        out.append(Metric(f"excess_p99[{key}]", r.excess_p99))
+        out.append(Metric(f"excess_p999[{key}]", r.excess_p999))
+    return out
+
+
 def _as_list(fn):
     """Wrap a single-row runner so every harness returns a list."""
 
@@ -302,6 +315,16 @@ HARNESSES: Dict[str, ReportHarness] = {
             format=format_probing,
             metrics=_metrics_probing,
             row_type=ProbingRow,
+        ),
+        ReportHarness(
+            name="latency_curves",
+            paper_section="Beyond the paper (queueing)",
+            title="Excess p99/p999 sojourn vs offered load per scheme",
+            run=run_latency,
+            summarize=summarize_latency,
+            format=format_latency,
+            metrics=_metrics_latency,
+            row_type=LatencyRow,
         ),
     )
 }

@@ -214,6 +214,71 @@ class TestEventLoop:
 
         assert issubclass(Simulator, EventLoop)
 
+    def test_max_events_zero_processes_nothing(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        assert loop.run_until(5.0, max_events=0) == 0
+        assert fired == []
+        assert loop.total_events_processed == 0
+        # the skipped event must still be pending, not silently lost.
+        assert loop.run_until(5.0) == 1
+        assert fired == [1]
+
+    def test_max_events_early_stop_keeps_clock_and_pending_events(self):
+        loop = EventLoop()
+        order = []
+        for label, delay in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+            loop.schedule(delay, lambda label=label: order.append(label))
+        assert loop.run_until(10.0, max_events=2) == 2
+        assert order == ["a", "b"]
+        # stopping on the budget must NOT fast-forward the clock past
+        # the still-pending event at t=3.0.
+        assert loop.now == 2.0
+        assert loop.run_until(10.0) == 1
+        assert order == ["a", "b", "c"]
+        assert loop.now == 10.0
+        assert loop.total_events_processed == 3
+
+    def test_max_events_exact_budget_still_advances_clock(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        # budget not exhausted by the heap: clock reaches end_time.
+        assert loop.run_until(5.0, max_events=3) == 1
+        assert loop.now == 5.0
+
+    def test_negative_max_events_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.run_until(1.0, max_events=-1)
+        with pytest.raises(ValueError):
+            loop.run(max_events=-1)
+
+    def test_run_drains_heap_including_chained_events(self):
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule(1.0, lambda: order.append("chained"))
+
+        loop.schedule(1.0, first)
+        assert loop.run() == 2
+        assert order == ["first", "chained"]
+        assert loop.now == 2.0
+
+    def test_run_with_max_events_leaves_remainder(self):
+        loop = EventLoop()
+        order = []
+        for label, delay in (("a", 1.0), ("b", 2.0), ("c", 3.0)):
+            loop.schedule(delay, lambda label=label: order.append(label))
+        assert loop.run(max_events=1) == 1
+        assert order == ["a"]
+        assert loop.now == 1.0
+        assert loop.run() == 2
+        assert order == ["a", "b", "c"]
+        assert loop.total_events_processed == 3
+
 
 class TestRouteChunked:
     def test_equals_single_chunk_route(self):

@@ -1,0 +1,175 @@
+"""Property-based tests for the log-bucketed latency sketch.
+
+The :class:`~repro.queueing.latency.LatencyStore` carries every
+percentile the latency evaluation reports, so its two contracts are
+load-bearing and tested as *properties* over arbitrary inputs:
+
+* **bounded relative error** -- any quantile estimate is within the
+  configured relative error of the exact order-statistic value;
+* **exact mergeability** -- merging stores and then querying gives
+  byte-identical answers to querying a store fed the concatenated
+  samples, in any merge order (associative + commutative), which is
+  what lets per-worker sketches combine into cluster-wide curves and
+  parallel sweep shards stay byte-identical with serial runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import DEFAULT_RELATIVE_ERROR, LatencyStore
+
+# Positive sojourn-like magnitudes spanning microseconds to kiloseconds.
+samples_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+)
+quantile_strategy = st.floats(min_value=0.0, max_value=0.999)
+
+
+def exact_quantile(values, q):
+    """The order statistic the sketch's rank walk targets."""
+    ordered = sorted(values)
+    rank = max(1, int(np.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+class TestRelativeErrorBound:
+    @given(samples_strategy, quantile_strategy)
+    @settings(max_examples=200)
+    def test_quantile_within_relative_error(self, values, q):
+        store = LatencyStore()
+        store.record_many(np.asarray(values))
+        estimate = store.quantile(q)
+        exact = exact_quantile(values, q)
+        # tiny slack: estimates sit exactly on the bound at bucket edges.
+        assert abs(estimate - exact) <= DEFAULT_RELATIVE_ERROR * exact * (1 + 1e-9)
+
+    @given(samples_strategy)
+    @settings(max_examples=100)
+    def test_exact_aggregates(self, values):
+        store = LatencyStore()
+        store.record_many(np.asarray(values))
+        assert store.count == len(values)
+        assert store.min == pytest.approx(min(values))
+        assert store.max == pytest.approx(max(values))
+        assert store.mean() == pytest.approx(float(np.mean(values)))
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+        st.floats(min_value=0.001, max_value=0.2),
+    )
+    @settings(max_examples=100)
+    def test_configurable_error_bound(self, value, relative_error):
+        store = LatencyStore(relative_error)
+        store.record(value)
+        assert store.quantile(0.5) == pytest.approx(
+            value, rel=relative_error * (1 + 1e-9)
+        )
+
+
+class TestMergeSemantics:
+    @given(samples_strategy, samples_strategy, quantile_strategy)
+    @settings(max_examples=200)
+    def test_merge_equals_concat(self, a, b, q):
+        """merge-then-query == query-of-concatenation, exactly."""
+        sa, sb = LatencyStore(), LatencyStore()
+        sa.record_many(np.asarray(a))
+        sb.record_many(np.asarray(b))
+        merged = sa.merge(sb)
+
+        concat = LatencyStore()
+        concat.record_many(np.asarray(a + b))
+        assert merged.quantile(q) == concat.quantile(q)
+        assert merged.count == concat.count
+        assert merged.mean() == pytest.approx(concat.mean())
+
+    @given(samples_strategy, samples_strategy, quantile_strategy)
+    @settings(max_examples=100)
+    def test_merge_commutes(self, a, b, q):
+        sa, sb = LatencyStore(), LatencyStore()
+        sa.record_many(np.asarray(a))
+        sb.record_many(np.asarray(b))
+        assert sa.merge(sb).quantile(q) == sb.merge(sa).quantile(q)
+
+    @given(samples_strategy, samples_strategy, samples_strategy, quantile_strategy)
+    @settings(max_examples=100)
+    def test_merge_associates(self, a, b, c, q):
+        stores = []
+        for values in (a, b, c):
+            s = LatencyStore()
+            s.record_many(np.asarray(values))
+            stores.append(s)
+        sa, sb, sc = stores
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sc.merge(sb))
+        assert left.quantile(q) == right.quantile(q)
+        assert left.count == right.count
+
+    @given(samples_strategy)
+    @settings(max_examples=50)
+    def test_merge_all_equals_pairwise(self, values):
+        # one store per sample vs one store with all samples.
+        singles = []
+        for v in values:
+            s = LatencyStore()
+            s.record(v)
+            singles.append(s)
+        combined = LatencyStore.merge_all(singles)
+        direct = LatencyStore()
+        direct.record_many(np.asarray(values))
+        assert combined.quantile(0.99) == direct.quantile(0.99)
+        assert combined.count == direct.count
+
+    def test_merge_requires_matching_error(self):
+        with pytest.raises(ValueError):
+            LatencyStore(0.01).merge(LatencyStore(0.02))
+
+
+class TestEdgeCases:
+    def test_empty_store_quantile_raises(self):
+        store = LatencyStore()
+        with pytest.raises(ValueError):
+            store.quantile(0.5)
+        assert store.count == 0
+        assert store.mean() == 0.0
+
+    def test_single_sample_all_quantiles(self):
+        store = LatencyStore()
+        store.record(0.125)
+        for q in (0.0, 0.5, 0.99, 0.999):
+            assert store.quantile(q) == pytest.approx(0.125, rel=0.01)
+
+    def test_nonpositive_values_land_in_zero_bucket(self):
+        store = LatencyStore()
+        store.record_many(np.asarray([0.0, -1.0, 5.0]))
+        assert store.count == 3
+        assert store.quantile(0.0) == 0.0
+        assert store.quantile(0.9) == pytest.approx(5.0, rel=0.01)
+
+    def test_rejects_nan_and_inf(self):
+        store = LatencyStore()
+        with pytest.raises(ValueError):
+            store.record(float("nan"))
+        with pytest.raises(ValueError):
+            store.record_many(np.asarray([1.0, float("inf")]))
+
+    def test_invalid_quantile_rejected(self):
+        store = LatencyStore()
+        store.record(1.0)
+        # q = 1.0 is valid (the maximum); outside [0, 1] is not.
+        assert store.quantile(1.0) == pytest.approx(1.0, rel=0.011)
+        with pytest.raises(ValueError):
+            store.quantile(1.1)
+        with pytest.raises(ValueError):
+            store.quantile(-0.1)
+
+    def test_round_trip_dict(self):
+        store = LatencyStore()
+        store.record_many(np.asarray([0.001, 0.5, 2.0, 2.0]))
+        clone = LatencyStore.from_dict(store.to_dict())
+        assert clone.count == store.count
+        assert clone.quantile(0.99) == store.quantile(0.99)
+        assert clone.mean() == pytest.approx(store.mean())

@@ -1,0 +1,229 @@
+"""Behavioral tests for the queueing simulator, arrivals, and JBSQ."""
+
+import numpy as np
+import pytest
+
+from repro.api import make_partitioner
+from repro.partitioning import JoinBoundedShortestQueue
+from repro.queueing import (
+    BimodalService,
+    DeterministicArrivals,
+    DeterministicService,
+    ExponentialService,
+    PoissonArrivals,
+    TraceArrivals,
+    simulate_queueing,
+)
+
+
+def run(partitioner, n=5_000, rho=0.8, seed=7, **kwargs):
+    mu = 1000.0
+    lam = rho * partitioner.num_workers * mu
+    keys = np.arange(n, dtype=np.int64) % 97
+    return simulate_queueing(
+        keys,
+        partitioner,
+        PoissonArrivals(lam),
+        ExponentialService(1.0 / mu),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestConservation:
+    def test_every_message_completes_or_drops(self):
+        result = run(make_partitioner("sg", 4))
+        assert result.completed == result.num_messages
+        assert result.dropped == 0
+
+    def test_bounded_queues_drop_and_account(self):
+        # deterministic arrivals at 2x a single worker's capacity: kg on
+        # one worker must drop roughly half once the 4-slot queue fills.
+        p = make_partitioner("kg", 1)
+        n = 2_000
+        result = simulate_queueing(
+            np.zeros(n, dtype=np.int64),
+            p,
+            DeterministicArrivals(2000.0),
+            DeterministicService(1.0 / 1000.0),
+            seed=3,
+            queue_capacity=4,
+        )
+        assert result.completed + result.dropped == n
+        assert result.dropped == pytest.approx(n / 2, rel=0.02)
+        assert result.dropped_per_worker.sum() == result.dropped
+        # bounded queue means bounded sojourn: at most 4 services + own.
+        assert result.latency.max <= 5 * (1.0 / 1000.0) + 1e-9
+
+    def test_warmup_excluded_from_sketch(self):
+        full = run(make_partitioner("sg", 2), n=2_000)
+        trimmed = run(make_partitioner("sg", 2), n=2_000, warmup_fraction=0.25)
+        assert full.latency.count == 2_000
+        assert trimmed.latency.count == 1_500
+        assert trimmed.warmup_messages == 500
+
+    def test_determinism_same_seed(self):
+        a = run(make_partitioner("pkg", 4, seed=1))
+        b = run(make_partitioner("pkg", 4, seed=1))
+        assert a.latency.to_dict() == b.latency.to_dict()
+        assert a.end_time == b.end_time
+        assert np.array_equal(a.busy_time, b.busy_time)
+
+    def test_worker_sketches_merge_to_cluster_sketch(self):
+        result = run(make_partitioner("sg", 4))
+        assert (
+            sum(s.count for s in result.worker_latency)
+            == result.latency.count
+        )
+        assert result.waiting.count == result.latency.count
+
+    def test_utilization_tracks_offered_load(self):
+        result = run(make_partitioner("sg", 4), n=40_000, rho=0.6)
+        assert result.utilization == pytest.approx(0.6, abs=0.03)
+
+    def test_invalid_inputs_rejected(self):
+        p = make_partitioner("sg", 2)
+        with pytest.raises(ValueError):
+            run(p, queue_capacity=0)
+        with pytest.raises(ValueError):
+            run(p, warmup_fraction=1.0)
+
+
+class TestTraceArrivals:
+    def test_replays_trace_gaps(self):
+        trace = [0.5, 1.5, 3.5, 6.5]
+        rng = np.random.default_rng(0)
+        times = TraceArrivals(trace).arrival_times(4, rng)
+        assert times == pytest.approx(trace)
+
+    def test_rescales_to_target_rate(self):
+        trace = [0.0, 1.0, 3.0, 6.0]  # natural rate 0.5/s
+        arr = TraceArrivals(trace, rate=5.0)
+        rng = np.random.default_rng(0)
+        times = arr.arrival_times(400, rng)
+        measured = (times.size - 1) / (times[-1] - times[0])
+        assert measured == pytest.approx(5.0, rel=0.05)
+
+    def test_tiles_beyond_trace_length(self):
+        trace = [0.0, 1.0, 2.0]
+        rng = np.random.default_rng(0)
+        times = TraceArrivals(trace).arrival_times(10, rng)
+        assert times.size == 10
+        assert bool(np.all(np.diff(times) > 0))
+
+    def test_rejects_descending_trace(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([0.0, 2.0, 1.0])
+
+
+class TestBimodalService:
+    def test_moments_match_samples(self):
+        service = BimodalService(fast=0.001, slow=0.01, slow_fraction=0.2)
+        rng = np.random.default_rng(5)
+        samples = service.sample(200_000, rng)
+        assert samples.mean() == pytest.approx(service.mean, rel=0.01)
+        measured_scv = samples.var() / samples.mean() ** 2
+        assert measured_scv == pytest.approx(service.scv, rel=0.05)
+
+
+class TestJBSQ:
+    def test_registered_spec_with_d(self):
+        p = make_partitioner("jbsq:d=4", 8)
+        assert isinstance(p, JoinBoundedShortestQueue)
+        assert p.num_choices == 4
+
+    def test_key_agnostic_candidates_advance_with_counter(self):
+        p = JoinBoundedShortestQueue(8, seed=0)
+        first = p.candidates("anything")
+        p.route("anything")
+        second = p.candidates("anything")
+        # same key, new message: candidate set is counter-driven.
+        assert first != second or p.family.choices(0, 8) != p.family.choices(1, 8)
+
+    def test_outstanding_tracks_feedback(self):
+        p = JoinBoundedShortestQueue(4, seed=0)
+        workers = [p.route(k) for k in range(10)]
+        assert p.outstanding.sum() == 10
+        for w in workers:
+            p.on_complete(w)
+        assert p.outstanding.sum() == 0
+        with pytest.raises(ValueError):
+            p.on_complete(workers[0])  # nothing outstanding anymore
+        with pytest.raises(ValueError):
+            p.on_complete(99)
+
+    def test_feedback_steers_away_from_backlogged_worker(self):
+        p = JoinBoundedShortestQueue(2, num_choices=2, seed=0)
+        # pile outstanding work on worker 0 without completions.
+        p.outstanding[0] = 100
+        routed = [p.route(i) for i in range(50)]
+        assert routed.count(1) > routed.count(0)
+
+    def test_route_chunk_matches_route_replay(self):
+        keys = np.arange(500, dtype=np.int64) % 13
+        a = JoinBoundedShortestQueue(8, seed=2)
+        b = JoinBoundedShortestQueue(8, seed=2)
+        chunked = b.route_chunk(keys)
+        singles = np.array([a.route(k) for k in keys])
+        assert np.array_equal(chunked, singles)
+        assert np.array_equal(a.outstanding, b.outstanding)
+
+    def test_reset_clears_state(self):
+        p = JoinBoundedShortestQueue(4, seed=0)
+        for k in range(20):
+            p.route(k)
+        p.reset()
+        assert p.outstanding.sum() == 0
+        assert p.route_chunk(np.arange(5)).shape == (5,)
+
+    def test_no_routing_table(self):
+        p = JoinBoundedShortestQueue(4, seed=0)
+        for k in range(100):
+            p.route(k)
+        assert p.memory_entries() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinBoundedShortestQueue(4, num_choices=0)
+
+    def test_improves_tail_over_shuffle_under_load(self):
+        """The point of queue-depth feedback: lower p99 than blind sg."""
+        sg = run(make_partitioner("sg", 8), n=30_000, rho=0.9)
+        jbsq = run(make_partitioner("jbsq", 8), n=30_000, rho=0.9)
+        assert jbsq.dropped == 0  # feedback credits released correctly
+        assert jbsq.sojourn_quantile(0.99) < sg.sojourn_quantile(0.99)
+
+    def test_drop_releases_outstanding_credit(self):
+        p = make_partitioner("jbsq", 2)
+        n = 3_000
+        simulate_queueing(
+            np.zeros(n, dtype=np.int64),
+            p,
+            DeterministicArrivals(5000.0),
+            DeterministicService(1.0 / 1000.0),
+            seed=3,
+            queue_capacity=3,
+        )
+        # after the run drains, every arrival was either completed or
+        # dropped, and both paths released their outstanding credit.
+        assert p.outstanding.sum() == 0
+
+
+class TestQueueingCLI:
+    def test_main_prints_table(self, capsys):
+        from repro.queueing.__main__ import main
+
+        rc = main(
+            ["--scale", "0.1", "--utilizations", "0.6", "--schemes", "sg",
+             "--jobs", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Excess tail latency" in out
+        assert "SG" in out
+
+    def test_main_rejects_bad_utilization(self):
+        from repro.queueing.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--utilizations", "1.5"])

@@ -31,10 +31,11 @@ def table2_rows():
 
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
+    def test_all_eleven_experiments_registered(self):
         assert harness_names() == [
             "table1", "table2", "fig2", "fig3", "fig4",
             "fig5a", "fig5b", "jaccard", "dchoices", "probing",
+            "latency_curves",
         ]
 
     def test_unknown_harness(self):
