@@ -13,9 +13,14 @@ that make routing decisions or accumulate routing metrics:
   timestamps or the event loop's clock.
 
 "Hot path" is determined by directory name: any file under a
-``partitioning``, ``core``, ``hashing``, ``load``, or ``sketches``
-directory.  Timing *harnesses* (``repro.reports.bench``, experiment
-CLIs) live outside those trees and may measure wall-clock freely.
+``partitioning``, ``core``, ``hashing``, ``load``, ``sketches``,
+``queueing``, or ``runtime`` directory.  Timing *harnesses*
+(``repro.reports.bench``, experiment CLIs) live outside those trees
+and may measure wall-clock freely.  The sharded runtime
+(``repro.runtime``) does stamp enqueue times with ``perf_counter`` --
+those reads carry explicit ``# repro: noqa[REPRO002]`` suppressions
+with a justification, so every *new* clock read there still needs a
+deliberate sign-off.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ HOT_PATH_PARTS: Tuple[str, ...] = (
     "load",
     "sketches",
     "queueing",
+    "runtime",
 )
 
 #: wall-clock reads (resolved dotted names).

@@ -8,9 +8,15 @@ functions by qualified name: lambdas and closures raise
 hides on ``fork`` platforms and in ``REPRO_PARALLEL=0`` CI legs until
 it detonates on someone else's machine.
 
-Flagged, at every ``parallel_map(fn, ...)`` call site:
+The same contract covers worker *entrypoints*: the sharded runtime
+(:mod:`repro.runtime`) hands each worker loop to
+``multiprocessing.Process(target=...)``, and under ``spawn`` the
+target is pickled exactly like a pool task function.
 
-* a ``lambda`` as the mapped function;
+Flagged, at every ``parallel_map(fn, ...)`` call site and at every
+``Process(target=...)`` construction:
+
+* a ``lambda`` as the mapped function / process target;
 * a name bound to a function *defined inside another function* in the
   same module (a closure by construction).
 
@@ -29,6 +35,10 @@ from repro.lint.rules.base import ModuleContext, Rule
 
 #: call targets whose first argument must be a picklable function.
 _POOL_ENTRY_POINTS = frozenset({"parallel_map"})
+
+#: constructors whose ``target=`` keyword must be a picklable function
+#: (worker entrypoints shipped to child processes).
+_PROCESS_CONSTRUCTORS = frozenset({"Process"})
 
 
 def _callable_names(node: ast.Call) -> Iterator[str]:
@@ -87,27 +97,42 @@ class PicklableCells(Rule):
         index = _DefIndex()
         index.visit(ctx.tree)
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call) or not node.args:
+            if not isinstance(node, ast.Call):
                 continue
-            if not any(n in _POOL_ENTRY_POINTS for n in _callable_names(node)):
-                continue
-            fn = node.args[0]
-            if isinstance(fn, ast.Lambda):
+            names = list(_callable_names(node))
+            if node.args and any(n in _POOL_ENTRY_POINTS for n in names):
+                yield from self._check_task_fn(
+                    ctx, index, node.args[0], "passed to parallel_map"
+                )
+            if any(n in _PROCESS_CONSTRUCTORS for n in names):
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        yield from self._check_task_fn(
+                            ctx, index, kw.value, "used as a Process target"
+                        )
+
+    def _check_task_fn(
+        self,
+        ctx: ModuleContext,
+        index: _DefIndex,
+        fn: ast.expr,
+        where: str,
+    ) -> Iterator[Finding]:
+        if isinstance(fn, ast.Lambda):
+            yield ctx.finding(
+                fn,
+                self.id,
+                f"lambda {where} cannot be pickled under the spawn "
+                "start method; hoist it to a module-level def",
+            )
+        elif isinstance(fn, ast.Name):
+            name = fn.id
+            if name in index.nested and name not in index.module_level:
                 yield ctx.finding(
                     fn,
                     self.id,
-                    "lambda passed to parallel_map cannot be pickled "
-                    "under the spawn start method; hoist it to a "
-                    "module-level def",
+                    f"{name} is defined inside another function and is "
+                    f"{where}; closures cannot be pickled under the "
+                    "spawn start method -- hoist it to module level and "
+                    "pass its inputs through the cell descriptor",
                 )
-            elif isinstance(fn, ast.Name):
-                name = fn.id
-                if name in index.nested and name not in index.module_level:
-                    yield ctx.finding(
-                        fn,
-                        self.id,
-                        f"{name} is defined inside another function; "
-                        "closures cannot be pickled under the spawn "
-                        "start method -- hoist it to module level and "
-                        "pass its inputs through the cell descriptor",
-                    )

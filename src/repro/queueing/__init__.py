@@ -6,7 +6,8 @@ latency at 80% utilization**.  This package answers that question on
 top of the deterministic :class:`~repro.core.engine.EventLoop`:
 
 * :mod:`~repro.queueing.arrivals` -- seeded arrival processes
-  (Poisson, deterministic, trace replay);
+  (Poisson, deterministic, trace replay) and the closed-loop
+  think-time population descriptor;
 * :mod:`~repro.queueing.service` -- service-time distributions
   (exponential, deterministic, bimodal) with exact mean/scv;
 * :mod:`~repro.queueing.latency` -- the mergeable bounded-relative-
@@ -24,6 +25,10 @@ sweep into the artifact pipeline (``results/latency_curves.json``).
 
 from repro.queueing.analytic import (
     erlang_c,
+    machine_repairman_distribution,
+    machine_repairman_mean_sojourn,
+    machine_repairman_throughput,
+    machine_repairman_utilization,
     mg1_mean_waiting,
     mm1_mean_sojourn,
     mm1_mean_waiting,
@@ -33,6 +38,7 @@ from repro.queueing.analytic import (
 )
 from repro.queueing.arrivals import (
     ArrivalProcess,
+    ClosedLoopPopulation,
     DeterministicArrivals,
     PoissonArrivals,
     TraceArrivals,
@@ -46,12 +52,14 @@ from repro.queueing.service import (
 )
 from repro.queueing.simulator import (
     QueueingResult,
+    simulate_closed_loop,
     simulate_mmc,
     simulate_queueing,
 )
 
 __all__ = [
     "ArrivalProcess",
+    "ClosedLoopPopulation",
     "PoissonArrivals",
     "DeterministicArrivals",
     "TraceArrivals",
@@ -63,8 +71,13 @@ __all__ = [
     "DEFAULT_RELATIVE_ERROR",
     "QueueingResult",
     "simulate_queueing",
+    "simulate_closed_loop",
     "simulate_mmc",
     "erlang_c",
+    "machine_repairman_distribution",
+    "machine_repairman_utilization",
+    "machine_repairman_throughput",
+    "machine_repairman_mean_sojourn",
     "mm1_mean_waiting",
     "mm1_mean_sojourn",
     "mm1_sojourn_quantile",

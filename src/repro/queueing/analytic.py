@@ -11,7 +11,11 @@ module holds those answers:
   ``W_q = rho (1 + C_s^2) / (2 (1 - rho)) * E[S]``, covering the
   deterministic and bimodal service distributions;
 * **M/M/c (Erlang C)** -- probability of waiting and mean waiting time
-  for ``c`` servers sharing one FIFO queue.
+  for ``c`` servers sharing one FIFO queue;
+* **M/M/1//N (machine repairman)** -- the closed-loop finite-source
+  model behind :class:`~repro.queueing.arrivals.ClosedLoopPopulation`:
+  stationary distribution, utilization, throughput, and -- via Little's
+  law on the closed cycle -- mean response time.
 
 ``tests/test_queueing_analytic.py`` sweeps utilization and asserts the
 simulated means land within tolerance of these expressions -- the
@@ -21,6 +25,7 @@ simulated means land within tolerance of these expressions -- the
 from __future__ import annotations
 
 import math
+from typing import List
 
 __all__ = [
     "mm1_mean_waiting",
@@ -30,6 +35,10 @@ __all__ = [
     "erlang_c",
     "mmc_mean_waiting",
     "mmc_mean_sojourn",
+    "machine_repairman_distribution",
+    "machine_repairman_utilization",
+    "machine_repairman_throughput",
+    "machine_repairman_mean_sojourn",
 ]
 
 
@@ -128,3 +137,70 @@ def mmc_mean_sojourn(
         mmc_mean_waiting(arrival_rate, service_rate, num_servers)
         + 1.0 / service_rate
     )
+
+
+def _check_repairman(
+    population: int, think_rate: float, service_rate: float
+) -> None:
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if think_rate <= 0:
+        raise ValueError(f"think rate must be positive, got {think_rate}")
+    if service_rate <= 0:
+        raise ValueError(
+            f"service rate must be positive, got {service_rate}"
+        )
+
+
+def machine_repairman_distribution(
+    population: int, think_rate: float, service_rate: float
+) -> List[float]:
+    """Stationary P(k requests at the server) of M/M/1//N, k = 0..N.
+
+    N clients each think for Exp(``think_rate``) then hold the single
+    Exp(``service_rate``) server; the birth-death solution is
+    ``P(k) \\propto N!/(N-k)! * (think_rate/service_rate)^k``.  Always
+    stable (the closed loop self-throttles), so no utilization check.
+    """
+    _check_repairman(population, think_rate, service_rate)
+    ratio = think_rate / service_rate
+    weights = [1.0]
+    for k in range(1, population + 1):
+        # N!/(N-k)! builds up one factor (N-k+1) per extra request.
+        weights.append(weights[-1] * (population - k + 1) * ratio)
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def machine_repairman_utilization(
+    population: int, think_rate: float, service_rate: float
+) -> float:
+    """Server utilization ``U = 1 - P(0)`` of M/M/1//N."""
+    return 1.0 - machine_repairman_distribution(
+        population, think_rate, service_rate
+    )[0]
+
+
+def machine_repairman_throughput(
+    population: int, think_rate: float, service_rate: float
+) -> float:
+    """System throughput ``X = U * service_rate`` (completions/second)."""
+    return (
+        machine_repairman_utilization(population, think_rate, service_rate)
+        * service_rate
+    )
+
+
+def machine_repairman_mean_sojourn(
+    population: int, think_rate: float, service_rate: float
+) -> float:
+    """Mean response time ``R = N/X - Z`` of M/M/1//N.
+
+    Little's law over the whole closed cycle: each of the N clients
+    alternates thinking (mean ``Z = 1/think_rate``) and responding, so
+    ``N = X * (R + Z)``.
+    """
+    throughput = machine_repairman_throughput(
+        population, think_rate, service_rate
+    )
+    return population / throughput - 1.0 / think_rate

@@ -15,20 +15,36 @@ the event loop deterministically.
 * :class:`TraceArrivals` -- replay of an explicit timestamp trace
   (e.g. timestamps captured from the drift/burst generators in
   :mod:`repro.streams`), optionally rescaled to a target rate.
+
+:class:`ClosedLoopPopulation` is the *closed-loop* (think-time) arrival
+mode and deliberately **not** an :class:`ArrivalProcess`: a closed
+system's arrival instants depend on its own departures (a client only
+submits its next request after the previous one returned and a think
+time elapsed), so the full arrival-time vector cannot exist before the
+simulation runs.  It is a plain descriptor -- population size N plus a
+think-time distribution -- that
+:func:`repro.queueing.simulator.simulate_closed_loop` interprets; with
+exponential think and service times and one worker this is the
+M/M/1//N machine-repairman model, whose closed forms live in
+:mod:`repro.queueing.analytic`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Sequence, Union
 
 import numpy as np
+
+from repro.queueing.service import ServiceTimeDistribution
 
 __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
     "DeterministicArrivals",
     "TraceArrivals",
+    "ClosedLoopPopulation",
 ]
 
 
@@ -113,3 +129,31 @@ class TraceArrivals(ArrivalProcess):
         if n:
             tiled[0] = self._first if self._first > 0 else self._gaps[0]
         return tiled
+
+
+@dataclass(frozen=True)
+class ClosedLoopPopulation:
+    """N clients alternating think -> submit -> wait-for-response.
+
+    The closed-loop arrival mode: at most ``population`` requests are
+    ever in flight, so offered load self-throttles when the system
+    slows down -- the finite-source behaviour open-loop Poisson
+    arrivals cannot express.  ``think`` reuses the service-time
+    distribution classes (an exponential think time makes the
+    single-worker system the textbook M/M/1//N machine-repairman
+    model).
+    """
+
+    population: int
+    think: ServiceTimeDistribution
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError(
+                f"population must be >= 1, got {self.population}"
+            )
+
+    @property
+    def think_rate(self) -> float:
+        """Mean think-completions per second per client (``1/E[Z]``)."""
+        return 1.0 / self.think.mean

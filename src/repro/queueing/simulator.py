@@ -38,14 +38,23 @@ import numpy as np
 
 from repro.core.chunks import KeyStream, as_key_array
 from repro.core.engine import EventLoop
-from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
+from repro.queueing.arrivals import (
+    ArrivalProcess,
+    ClosedLoopPopulation,
+    PoissonArrivals,
+)
 from repro.queueing.latency import DEFAULT_RELATIVE_ERROR, LatencyStore
 from repro.queueing.service import ServiceTimeDistribution
 
 if TYPE_CHECKING:
     from repro.partitioning.base import Partitioner
 
-__all__ = ["QueueingResult", "simulate_queueing", "simulate_mmc"]
+__all__ = [
+    "QueueingResult",
+    "simulate_queueing",
+    "simulate_closed_loop",
+    "simulate_mmc",
+]
 
 #: the departure-feedback hook queue-aware partitioners may expose.
 CompletionHook = Callable[[int, float], None]
@@ -89,6 +98,13 @@ class QueueingResult:
             return np.zeros(self.num_workers, dtype=np.float64)
         out: np.ndarray = self.busy_time / self.end_time
         return out
+
+    @property
+    def throughput(self) -> float:
+        """Realised completions per simulated second."""
+        if self.end_time <= 0:
+            return 0.0
+        return self.completed / self.end_time
 
     def mean_sojourn(self) -> float:
         return self.latency.mean()
@@ -243,6 +259,115 @@ def simulate_queueing(
         waiting_buffers,
         busy_time,
         dropped_per_worker,
+        warmup,
+        relative_error,
+    )
+
+
+def simulate_closed_loop(
+    keys: KeyStream,
+    partitioner: "Partitioner",
+    closed_loop: ClosedLoopPopulation,
+    service: ServiceTimeDistribution,
+    *,
+    seed: int,
+    warmup_fraction: float = 0.0,
+    relative_error: float = DEFAULT_RELATIVE_ERROR,
+) -> QueueingResult:
+    """Closed-loop (think-time) run: N clients, each one request in flight.
+
+    Each of the ``closed_loop.population`` clients cycles think ->
+    submit -> wait-for-response: it draws a think time, submits the
+    next key from the stream at think end (routed through
+    ``partitioner.route`` at the submission instant), and starts
+    thinking again only when its request departs.  At most N requests
+    are ever in the system, so nothing is dropped and offered load
+    self-throttles -- with exponential think/service and one worker
+    this is M/M/1//N, validated against the machine-repairman closed
+    forms in :mod:`repro.queueing.analytic`.
+
+    The run ends when the stream is exhausted: exactly ``len(keys)``
+    messages are submitted and completed.  Keys, think times, and
+    service times are consumed in client think-start order, which the
+    deterministic EventLoop fixes, so the run is a pure function of
+    ``(keys, partitioner, closed_loop, service, seed)``.
+    """
+    key_array = as_key_array(keys)
+    n = int(key_array.size)
+    warmup = _warmup_count(warmup_fraction, n)
+    num_workers = partitioner.num_workers
+    population = closed_loop.population
+
+    rng = np.random.default_rng(seed)
+    think_times = closed_loop.think.sample(n, rng).tolist()
+    service_times = service.sample(n, rng).tolist()
+    arrival_times = [0.0] * n
+
+    loop = EventLoop()
+    queues: List[Deque[int]] = [deque() for _ in range(num_workers)]
+    busy = [False] * num_workers
+    busy_time = np.zeros(num_workers, dtype=np.float64)
+    buffers: List[List[float]] = [[] for _ in range(num_workers)]
+    waiting_buffers: List[List[float]] = [[] for _ in range(num_workers)]
+    completed = 0
+    next_index = 0
+    on_complete = cast(
+        Optional[CompletionHook], getattr(partitioner, "on_complete", None)
+    )
+
+    def start_service(worker: int) -> None:
+        index = queues[worker].popleft()
+        busy[worker] = True
+        duration = service_times[index]
+        busy_time[worker] += duration
+        loop.schedule(duration, lambda: depart(worker, index))
+
+    def depart(worker: int, index: int) -> None:
+        nonlocal completed
+        completed += 1
+        if index >= warmup:
+            sojourn = loop.now - arrival_times[index]
+            buffers[worker].append(sojourn)
+            waiting_buffers[worker].append(sojourn - service_times[index])
+        if on_complete is not None:
+            on_complete(worker, loop.now)
+        if queues[worker]:
+            start_service(worker)
+        else:
+            busy[worker] = False
+        begin_think()  # the responded-to client starts its next cycle
+
+    def submit(index: int) -> None:
+        arrival_times[index] = loop.now
+        worker = int(partitioner.route(key_array[index], loop.now))
+        queues[worker].append(index)
+        if not busy[worker]:
+            start_service(worker)
+
+    def begin_think() -> None:
+        # Reserve the next message at think *start*; a retiring client
+        # (stream exhausted) simply never submits again.
+        nonlocal next_index
+        if next_index >= n:
+            return
+        index = next_index
+        next_index += 1
+        loop.schedule(think_times[index], lambda: submit(index))
+
+    for _ in range(min(population, n)):
+        begin_think()
+    loop.run()
+
+    return _result(
+        num_workers,
+        n,
+        completed,
+        0,
+        loop.now if n else 0.0,
+        buffers,
+        waiting_buffers,
+        busy_time,
+        np.zeros(num_workers, dtype=np.int64),
         warmup,
         relative_error,
     )

@@ -173,10 +173,14 @@ def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
     Every result entry's ``keys_per_second`` becomes one
     higher-is-better metric named ``<scheme>.keys_per_second``, so the
     standard diff gate (tolerance, direction, exit code) applies to
-    throughput trajectories unchanged.  Suite-level entries carrying
-    ``sweep_wall_clock_seconds`` (the experiments-sweep wall clock
-    written by ``repro.reports run``) become lower-is-better metrics,
-    so the parallel executor's end-to-end time is gated the same way.
+    throughput trajectories unchanged.  The sharded runtime's
+    ``<scheme>@e2e`` entries map the same way:
+    ``e2e_messages_per_second`` is higher-is-better and
+    ``p99_sojourn_seconds`` lower-is-better.  Suite-level entries
+    carrying ``sweep_wall_clock_seconds`` (the experiments-sweep wall
+    clock written by ``repro.reports run``) become lower-is-better
+    metrics, so the parallel executor's end-to-end time is gated the
+    same way.
     """
     manifest = data.get("manifest", {}) or {}
     metrics = []
@@ -189,6 +193,22 @@ def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
                     name=f"{entry['name']}.keys_per_second",
                     value=float(entry["keys_per_second"]),
                     direction="higher",
+                )
+            )
+        if "e2e_messages_per_second" in entry:
+            metrics.append(
+                Metric(
+                    name=f"{entry['name']}.e2e_messages_per_second",
+                    value=float(entry["e2e_messages_per_second"]),
+                    direction="higher",
+                )
+            )
+        if "p99_sojourn_seconds" in entry:
+            metrics.append(
+                Metric(
+                    name=f"{entry['name']}.p99_sojourn_seconds",
+                    value=float(entry["p99_sojourn_seconds"]),
+                    direction="lower",
                 )
             )
         if "sweep_wall_clock_seconds" in entry:

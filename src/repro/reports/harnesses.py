@@ -147,6 +147,7 @@ def _metrics_fig5a(rows: List[Fig5aRow]) -> List[Metric]:
         out.append(Metric(f"throughput[{key}]", r.throughput, "higher"))
         out.append(Metric(f"mean_latency[{key}]", r.mean_latency))
         out.append(Metric(f"p99_latency[{key}]", r.p99_latency))
+        out.append(Metric(f"excess_p99[{key}]", r.excess_p99_latency))
     return out
 
 
@@ -155,6 +156,7 @@ def _metrics_fig5b(rows: List[Fig5bRow]) -> List[Metric]:
     for r in rows:
         key = f"{r.scheme},T={r.aggregation_period:g}s"
         out.append(Metric(f"throughput[{key}]", r.throughput, "higher"))
+        out.append(Metric(f"excess_p99[{key}]", r.excess_p99_latency))
         out.append(
             Metric(f"avg_memory_counters[{key}]", r.average_memory_counters)
         )

@@ -1,0 +1,53 @@
+"""Sharded multi-process runtime: source-routed rings, private merges.
+
+Public surface of :mod:`repro.runtime`:
+
+* :func:`run_runtime` / :class:`RuntimeConfig` / :class:`RuntimeResult`
+  -- run a stream through W sharded workers (real processes over
+  shared-memory rings, or the in-process simulated-rings fallback);
+* :class:`SpscRing` -- the bounded single-producer/single-consumer ring;
+* :func:`push_with_backpressure` -- block/spin/drop policies with
+  exact drop accounting;
+* :func:`bench_throughput_e2e` -- the ``<scheme>@e2e`` bench harness;
+* :func:`runtime_available` -- whether real worker processes can spawn.
+
+``python -m repro.runtime`` is the CLI; see ARCHITECTURE.md's
+"Sharded runtime" section for the design contract.
+"""
+
+from repro.runtime.backpressure import (
+    POLICIES,
+    PushOutcome,
+    RingStalledError,
+    push_with_backpressure,
+)
+from repro.runtime.bench import DEFAULT_E2E_SCHEMES, bench_throughput_e2e
+from repro.runtime.engine import (
+    MODES,
+    RuntimeConfig,
+    RuntimeResult,
+    run_runtime,
+    runtime_available,
+)
+from repro.runtime.ring import HEADER_SLOTS, SpscRing, ring_nbytes
+from repro.runtime.worker import WorkerLoop, WorkerSpec, worker_main
+
+__all__ = [
+    "DEFAULT_E2E_SCHEMES",
+    "HEADER_SLOTS",
+    "MODES",
+    "POLICIES",
+    "PushOutcome",
+    "RingStalledError",
+    "RuntimeConfig",
+    "RuntimeResult",
+    "SpscRing",
+    "WorkerLoop",
+    "WorkerSpec",
+    "bench_throughput_e2e",
+    "push_with_backpressure",
+    "ring_nbytes",
+    "run_runtime",
+    "runtime_available",
+    "worker_main",
+]

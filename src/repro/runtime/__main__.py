@@ -1,0 +1,162 @@
+"""Command-line entry point: ``python -m repro.runtime``.
+
+Runs one stream through the sharded runtime per scheme and prints a
+table of per-worker counts, end-to-end throughput and p99 sojourn.
+``--verify`` additionally replays the same stream through the
+single-process engine with a fresh partitioner and asserts the
+per-worker counts match exactly (the determinism contract); the exit
+code is non-zero on any mismatch.  ``--bench`` merges the measured
+``<scheme>@e2e`` entries into ``BENCH_partitioners.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import numpy as np
+
+from repro.runtime.bench import DEFAULT_E2E_SCHEMES
+from repro.runtime.engine import (
+    MODES,
+    RuntimeConfig,
+    run_runtime,
+    runtime_available,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.api import make_partitioner
+    from repro.core.engine import replay_stream
+    from repro.runtime.backpressure import POLICIES
+    from repro.streams.datasets import get_dataset
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Sharded multi-process runtime over shared-memory rings.",
+    )
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(DEFAULT_E2E_SCHEMES),
+        help="partitioner spec strings to run (default: %(default)s)",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--messages", type=int, default=100_000)
+    parser.add_argument(
+        "--dataset",
+        default="WP",
+        help="Table I dataset symbol for the key stream (default: WP)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="block",
+        help="backpressure policy when a ring is full (default: block)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=8192,
+        help="slots per worker ring (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--service-cost",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="simulated per-message service cost in each worker",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=MODES,
+        default="auto",
+        help="worker deployment; auto picks real processes when the "
+        "environment supports them, else in-process simulated rings",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert per-worker counts equal the single-process replay",
+    )
+    parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="merge <scheme>@e2e entries into BENCH_partitioners.json",
+    )
+    args = parser.parse_args(argv)
+
+    config = RuntimeConfig(
+        capacity=args.capacity,
+        policy=args.policy,
+        service_cost=args.service_cost,
+        mode=args.mode,
+    )
+    if args.mode == "auto" and not runtime_available():
+        print(
+            "note: process spawning or shared memory unavailable; "
+            "running in-process simulated rings"
+        )
+
+    keys = get_dataset(args.dataset).stream(args.messages, seed=args.seed)
+    failures = 0
+    results = []
+    for scheme in args.schemes:
+        partitioner = make_partitioner(scheme, args.workers, seed=args.seed)
+        result = run_runtime(keys, partitioner, config)
+        results.append((scheme, result))
+        line = (
+            f"{scheme:>16}  mode={result.mode:<9} "
+            f"throughput={result.messages_per_second:>12,.0f} msg/s  "
+            f"p99_sojourn={result.p99_sojourn() * 1e3:8.3f} ms  "
+            f"stalls={result.stalls}"
+        )
+        if result.dropped:
+            line += f"  dropped={result.dropped}"
+        print(line)
+        print(f"{'':>16}  worker_loads={result.worker_loads.tolist()}")
+        if args.verify:
+            fresh = make_partitioner(scheme, args.workers, seed=args.seed)
+            replay = replay_stream(keys, fresh)
+            lossless = result.policy in ("block", "spin")
+            expected = (
+                replay.final_loads
+                if lossless
+                else replay.final_loads - result.dropped_per_worker
+            )
+            if np.array_equal(result.worker_loads, expected):
+                print(f"{'':>16}  verify: counts match replay_stream")
+            else:
+                failures += 1
+                print(
+                    f"{'':>16}  verify: MISMATCH "
+                    f"(replay {replay.final_loads.tolist()})"
+                )
+
+    if args.bench:
+        from repro.reports.bench import merge_bench_results, write_bench_snapshot
+
+        entries = [
+            {
+                "name": f"{scheme}@e2e",
+                "e2e_messages_per_second": result.messages_per_second,
+                "p99_sojourn_seconds": result.p99_sojourn(),
+                "duration_seconds": result.wall_seconds,
+                "num_messages": result.num_messages,
+                "num_workers": result.num_workers,
+                "mode": result.mode,
+                "policy": result.policy,
+                "dropped": result.dropped,
+            }
+            for scheme, result in results
+        ]
+        merged = merge_bench_results("partitioners", entries)
+        path = write_bench_snapshot("partitioners", merged)
+        print(f"bench: wrote {len(entries)} @e2e entries to {path}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

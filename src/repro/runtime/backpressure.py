@@ -1,0 +1,121 @@
+"""What the source does when a worker's ring is full.
+
+A bounded ring plus a slow consumer forces a choice, and the right one
+depends on the deployment: a batch replay wants **block** (lossless,
+throughput throttled to the slowest worker), a latency-critical path
+with an upstream retry wants **drop** (lossy, load shed at the source,
+every drop accounted), and a low-latency pinned-core deployment wants
+**spin** (lossless, burns CPU instead of sleeping through the scheduler).
+
+:func:`push_with_backpressure` drives one per-worker push to
+completion under the chosen policy and returns exact drop accounting.
+The ``drain`` hook is how the simulated-rings mode stays lossless in a
+single process: with producer and consumer sharing a thread, "wait for
+the consumer" must mean "run the consumer", so the engine passes each
+worker's drain step as the callback and the policies call it instead of
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "POLICIES",
+    "PushOutcome",
+    "RingStalledError",
+    "push_with_backpressure",
+]
+
+from repro.runtime.ring import SpscRing
+
+#: recognised backpressure policies.
+POLICIES: Tuple[str, ...] = ("block", "spin", "drop")
+
+#: seconds the block policy sleeps between full-ring retries.
+_BLOCK_SLEEP = 50e-6
+#: busy iterations the spin policy burns before degrading to a sleep.
+_SPIN_ITERATIONS = 2_000
+#: full-ring retries before declaring the consumer dead.  With the
+#: block policy's sleep this bounds the wait to ~60 s of wall time
+#: without ever reading a clock (REPRO002: retry counts, not deadlines).
+_MAX_RETRIES = 1_200_000
+
+
+class RingStalledError(RuntimeError):
+    """A full ring made no progress across the whole retry budget.
+
+    The likely cause is a dead worker process; blocking forever would
+    hang the source, so the push gives up loudly instead.
+    """
+
+
+@dataclass
+class PushOutcome:
+    """Exact accounting of one backpressured push."""
+
+    pushed: int
+    dropped: int
+    #: times the producer found the ring full and had to wait/shed.
+    stalls: int
+
+
+def push_with_backpressure(
+    ring: SpscRing,
+    indices: np.ndarray,
+    stamps: np.ndarray,
+    policy: str,
+    drain: Optional[Callable[[], int]] = None,
+) -> PushOutcome:
+    """Push every message (or account for every drop) under ``policy``.
+
+    ``block`` and ``spin`` guarantee ``dropped == 0``: the call returns
+    only once the ring accepted all messages (or raises
+    :class:`RingStalledError` after the retry budget).  ``drop`` pushes
+    what fits immediately and sheds the rest.  ``drain``, when given,
+    replaces waiting entirely (simulated-rings mode).
+    """
+    if policy not in POLICIES:
+        raise ValueError(
+            f"policy must be one of {POLICIES}, got {policy!r}"
+        )
+    total = int(indices.size)
+    offset = 0
+    stalls = 0
+    retries = 0
+    while offset < total:
+        pushed = ring.try_push(indices[offset:], stamps[offset:])
+        if pushed:
+            offset += pushed
+            retries = 0
+            continue
+        stalls += 1
+        if policy == "drop":
+            return PushOutcome(pushed=offset, dropped=total - offset, stalls=stalls)
+        if drain is not None:
+            if drain() > 0:
+                continue
+            # A drain that cannot progress on a full ring is a consumer
+            # bug; retrying would loop forever in one thread.
+            raise RingStalledError(
+                "simulated-ring drain made no progress on a full ring"
+            )
+        retries += 1
+        if retries > _MAX_RETRIES:
+            raise RingStalledError(
+                f"ring stayed full through {retries} retries "
+                "(worker process dead?)"
+            )
+        if policy == "spin":
+            for _ in range(_SPIN_ITERATIONS):
+                if ring.free:
+                    break
+            else:
+                time.sleep(_BLOCK_SLEEP)
+        else:  # block
+            time.sleep(_BLOCK_SLEEP)
+    return PushOutcome(pushed=total, dropped=0, stalls=stalls)

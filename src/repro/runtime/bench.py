@@ -1,0 +1,63 @@
+"""End-to-end runtime benchmark: messages/s and p99 sojourn per scheme.
+
+Where :func:`repro.reports.bench.bench_partitioners` times *routing*
+alone (keys/s through ``route_chunk``), :func:`bench_throughput_e2e`
+times the whole sharded pipeline: route in the source, cross a ring,
+get processed by a worker.  Entries land in the same
+``BENCH_partitioners.json`` trajectory under ``<scheme>@e2e`` names,
+each carrying ``e2e_messages_per_second`` (higher is better) and
+``p99_sojourn_seconds`` (lower is better) -- both wired into the
+direction-aware diff gate in :mod:`repro.reports.diffing`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.runtime.engine import RuntimeConfig, run_runtime
+
+__all__ = ["DEFAULT_E2E_SCHEMES", "bench_throughput_e2e"]
+
+#: the paper's headline schemes plus the queueing-layer baseline.
+DEFAULT_E2E_SCHEMES = ("pkg", "kg", "sg", "jbsq")
+
+
+def bench_throughput_e2e(
+    schemes: Sequence[str] = DEFAULT_E2E_SCHEMES,
+    num_messages: int = 50_000,
+    num_workers: int = 4,
+    seed: int = 42,
+    dataset: str = "WP",
+    config: Optional[RuntimeConfig] = None,
+) -> List[Dict]:
+    """Run one fixed stream through the runtime per scheme and time it.
+
+    Returns bench entries for :func:`repro.reports.bench.
+    write_bench_snapshot` / ``merge_bench_results``.  The recorded
+    ``mode`` matters when reading trajectories: simulated-mode numbers
+    from a 1-core container are not comparable to process-mode numbers
+    from a real host, so the entry carries it alongside the values.
+    """
+    from repro.api import make_partitioner
+    from repro.streams.datasets import get_dataset
+
+    config = config or RuntimeConfig()
+    keys = get_dataset(dataset).stream(num_messages, seed=seed)
+    results = []
+    for scheme in schemes:
+        partitioner = make_partitioner(scheme, num_workers, seed=seed)
+        result = run_runtime(keys, partitioner, config)
+        results.append(
+            {
+                "name": f"{scheme}@e2e",
+                "e2e_messages_per_second": result.messages_per_second,
+                "p99_sojourn_seconds": result.p99_sojourn(),
+                "duration_seconds": result.wall_seconds,
+                "num_messages": int(keys.size),
+                "num_workers": num_workers,
+                "mode": result.mode,
+                "policy": result.policy,
+                "dropped": result.dropped,
+            }
+        )
+    return results

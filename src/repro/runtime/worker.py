@@ -1,0 +1,194 @@
+"""Worker side of the sharded runtime: drain, serve, account privately.
+
+A worker owns one ring (single consumer) and two private accumulators
+-- a message count and a :class:`~repro.queueing.latency.LatencyStore`
+sojourn sketch -- that nothing else writes.  This is the
+privatize-then-reduce discipline: accumulate into per-worker private
+state with no synchronisation at all, publish a checkpoint snapshot
+into a single-writer slot of the shared progress array every
+``checkpoint_interval`` messages, and reduce the full private state
+exactly once at shutdown (the report the engine merges).  No CAS, no
+locks, no shared hot counters.
+
+:class:`WorkerLoop` holds that logic once, for both deployment modes:
+the real multi-process engine runs it inside :func:`worker_main` (a
+module-level, picklable entrypoint -- the REPRO004 contract, same as
+``parallel_map`` cells), and the simulated-rings fallback calls
+:meth:`WorkerLoop.step` inline from the source loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.queueing.latency import DEFAULT_RELATIVE_ERROR, LatencyStore
+from repro.runtime.ring import SpscRing
+
+__all__ = ["WorkerSpec", "WorkerLoop", "worker_main"]
+
+#: seconds an idle real-process worker sleeps before re-polling its ring.
+_IDLE_SLEEP = 20e-6
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Plain-data description of one worker (picklable under spawn)."""
+
+    worker_id: int
+    num_workers: int
+    #: shared-memory block name of this worker's ring.
+    ring_name: str
+    #: shared-memory block name of the cluster-wide progress array.
+    progress_name: str
+    capacity: int
+    #: seconds of simulated per-message service cost (busy-wait).
+    service_cost: float
+    #: messages between checkpoint publications to the progress array.
+    checkpoint_interval: int
+    #: LatencyStore relative error for the sojourn sketch.
+    relative_error: float = DEFAULT_RELATIVE_ERROR
+    #: largest batch one drain step pops.
+    max_batch: int = 4096
+
+
+def _busy_wait(seconds: float) -> None:
+    """Occupy the CPU for ``seconds`` (the simulated service cost).
+
+    Spins on the monotonic clock: the duration models real work, so it
+    must consume real time -- sleep would let the OS run the producer
+    and understate contention.
+    """
+    if seconds <= 0:
+        return
+    # Service cost is elapsed real time by definition (REPRO002 noqa:
+    # this measures/creates wall time on purpose; no routing decision
+    # or load count depends on the values read here).
+    deadline = time.perf_counter() + seconds  # repro: noqa[REPRO002]
+    while time.perf_counter() < deadline:  # repro: noqa[REPRO002]
+        pass
+
+
+class WorkerLoop:
+    """One worker's drain loop and private accumulators."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        ring: SpscRing,
+        progress: np.ndarray,
+        *,
+        service_cost: float = 0.0,
+        checkpoint_interval: int = 4096,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        max_batch: int = 4096,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if service_cost < 0:
+            raise ValueError(f"service_cost must be >= 0, got {service_cost}")
+        self.worker_id = int(worker_id)
+        self.ring = ring
+        self.progress = progress
+        self.service_cost = float(service_cost)
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.max_batch = int(max_batch)
+        #: private accumulators -- this worker is the only writer.
+        self.count = 0
+        self.latency = LatencyStore(relative_error)
+        self.checkpoints_published = 0
+        self._since_checkpoint = 0
+
+    @classmethod
+    def from_spec(
+        cls, spec: WorkerSpec, ring: SpscRing, progress: np.ndarray
+    ) -> "WorkerLoop":
+        return cls(
+            spec.worker_id,
+            ring,
+            progress,
+            service_cost=spec.service_cost,
+            checkpoint_interval=spec.checkpoint_interval,
+            relative_error=spec.relative_error,
+            max_batch=spec.max_batch,
+        )
+
+    def step(self) -> int:
+        """Drain one batch from the ring; returns messages processed."""
+        indices, stamps = self.ring.try_pop(self.max_batch)
+        n = int(indices.size)
+        if n == 0:
+            return 0
+        if self.service_cost > 0.0:
+            _busy_wait(n * self.service_cost)
+        # Sojourn = dequeue-complete minus enqueue stamp: a real
+        # end-to-end wall measurement, the quantity throughput_e2e
+        # reports (REPRO002 noqa: measurement is the purpose; the
+        # values never feed a routing decision or a load count).
+        now = time.perf_counter()  # repro: noqa[REPRO002]
+        self.latency.record_many(now - stamps)
+        self.count += n
+        self._since_checkpoint += n
+        if self._since_checkpoint >= self.checkpoint_interval:
+            self.publish_checkpoint()
+        return n
+
+    def publish_checkpoint(self) -> None:
+        """Snapshot the private count into this worker's progress slot.
+
+        The slot has exactly one writer (this worker), so a plain
+        aligned int64 store is the whole reduction protocol.
+        """
+        self.progress[self.worker_id] = self.count
+        self.checkpoints_published += 1
+        self._since_checkpoint = 0
+
+    def drain_until_done(self) -> None:
+        """Run until the producer marked done and the ring is empty."""
+        while True:
+            if self.step() == 0:
+                if self.ring.exhausted:
+                    break
+                time.sleep(_IDLE_SLEEP)
+        self.publish_checkpoint()
+
+    def report(self) -> Dict[str, Any]:
+        """The worker's final reduced state (sent to the engine once)."""
+        return {
+            "worker_id": self.worker_id,
+            "count": self.count,
+            "checkpoints_published": self.checkpoints_published,
+            "latency": self.latency.to_dict(),
+        }
+
+
+def worker_main(spec: WorkerSpec, result_queue: Any) -> None:
+    """Process entrypoint: attach shared state, drain, report, exit.
+
+    Module-level by necessity, not style: under the ``spawn`` start
+    method the target is pickled by qualified name (REPRO004).
+    """
+    from multiprocessing import shared_memory
+
+    ring_shm = shared_memory.SharedMemory(name=spec.ring_name)
+    progress_shm = shared_memory.SharedMemory(name=spec.progress_name)
+    try:
+        ring = SpscRing.from_buffer(ring_shm.buf, spec.capacity)
+        progress = np.ndarray(
+            (spec.num_workers,), dtype=np.int64, buffer=progress_shm.buf
+        )
+        loop = WorkerLoop.from_spec(spec, ring, progress)
+        loop.drain_until_done()
+        result_queue.put(loop.report())
+    finally:
+        # Views must die before the mappings close.
+        del ring, progress, loop
+        ring_shm.close()
+        progress_shm.close()

@@ -1,14 +1,28 @@
-"""REPRO004 fixture: unpicklable functions handed to parallel_map."""
+"""REPRO004 fixture: unpicklable functions shipped to child processes."""
+
+import multiprocessing as mp
+from multiprocessing import Process
 
 from repro.core.parallel import parallel_map
 
 
 def run_sweep(cells, jobs):
-    return parallel_map(lambda cell: cell * 2, cells, jobs=jobs)  # line 7
+    return parallel_map(lambda cell: cell * 2, cells, jobs=jobs)  # line 10
 
 
 def run_closure_sweep(cells, jobs, factor):
     def scaled_cell(cell):  # nested => closure
         return cell * factor
 
-    return parallel_map(scaled_cell, cells, jobs=jobs)  # line 14
+    return parallel_map(scaled_cell, cells, jobs=jobs)  # line 17
+
+
+def spawn_lambda_worker(spec):
+    return Process(target=lambda: spec.run(), daemon=True)  # line 21
+
+
+def spawn_closure_worker(spec):
+    def entry():  # nested => closure
+        spec.run()
+
+    return mp.Process(target=entry)  # line 28

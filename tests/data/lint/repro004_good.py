@@ -1,5 +1,7 @@
 """REPRO004 fixture: module-level cell functions pickle fine."""
 
+import multiprocessing as mp
+
 from repro.core.parallel import parallel_map
 
 
@@ -14,3 +16,12 @@ def run_sweep(cells, jobs):
 def local_map_is_fine(cells):
     # builtin map with a lambda never crosses a process boundary.
     return list(map(lambda c: c * 2, cells))
+
+
+def _worker_main(spec):
+    return spec
+
+
+def spawn_worker(spec):
+    # Module-level target resolves by qualified name under spawn.
+    return mp.Process(target=_worker_main, args=(spec,), daemon=True)

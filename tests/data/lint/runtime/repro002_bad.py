@@ -1,0 +1,14 @@
+"""REPRO002 fixture: unsuppressed clock reads in a runtime/ module."""
+
+import time
+from time import perf_counter
+
+
+def stamp_enqueue(indices):
+    # line 9: wall-clock read with no repro: noqa sign-off
+    return [(i, time.perf_counter()) for i in indices]
+
+
+def worker_step(ring):
+    now = perf_counter()  # line 13: from-import resolves the same
+    return ring, now

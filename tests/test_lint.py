@@ -67,6 +67,18 @@ class TestRepro002:
     def test_good_fixture_is_clean(self):
         assert hits(FIXTURES / "core" / "repro002_good.py") == []
 
+    def test_runtime_is_a_hot_path(self):
+        # The sharded runtime joined HOT_PATH_PARTS: bare clock reads
+        # under a runtime/ directory are flagged...
+        assert hits(FIXTURES / "runtime" / "repro002_bad.py") == [
+            ("REPRO002", 9),  # time.perf_counter, no sign-off
+            ("REPRO002", 13),  # perf_counter via from-import
+        ]
+
+    def test_runtime_suppressions_and_sleep_pass(self):
+        # ...while noqa-signed stamps and time.sleep stay clean.
+        assert hits(FIXTURES / "runtime" / "repro002_good.py") == []
+
     def test_rule_only_applies_on_hot_paths(self, tmp_path):
         # Same impurities outside a hot-path directory are not flagged.
         src = (FIXTURES / "core" / "repro002_bad.py").read_text()
@@ -92,8 +104,10 @@ class TestRepro003:
 class TestRepro004:
     def test_bad_fixture_lines(self):
         assert hits(FIXTURES / "repro004_bad.py") == [
-            ("REPRO004", 7),  # lambda
-            ("REPRO004", 14),  # closure
+            ("REPRO004", 10),  # lambda to parallel_map
+            ("REPRO004", 17),  # closure to parallel_map
+            ("REPRO004", 21),  # lambda as Process target
+            ("REPRO004", 28),  # closure as Process target
         ]
 
     def test_good_fixture_is_clean(self):
@@ -223,8 +237,10 @@ class TestCli:
         assert proc.returncode == 1
         payload = json.loads(proc.stdout)
         assert [(f["rule"], f["line"]) for f in payload] == [
-            ("REPRO004", 7),
-            ("REPRO004", 14),
+            ("REPRO004", 10),
+            ("REPRO004", 17),
+            ("REPRO004", 21),
+            ("REPRO004", 28),
         ]
         assert all(set(f) == {"path", "line", "col", "rule", "message"} for f in payload)
 

@@ -187,3 +187,124 @@ def test_analytic_input_validation():
         mg1_mean_waiting(500.0, 0.0, 1.0)
     with pytest.raises(ValueError):
         mm1_sojourn_quantile(500.0, 1000.0, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop (think-time) arrivals: the M/M/1//N machine repairman
+# ---------------------------------------------------------------------------
+
+
+class TestMachineRepairman:
+    """``simulate_closed_loop`` vs the finite-source closed forms."""
+
+    def test_distribution_is_a_distribution(self):
+        from repro.queueing import machine_repairman_distribution
+
+        dist = machine_repairman_distribution(6, 1.0, 5.0)
+        assert len(dist) == 7
+        assert all(p >= 0 for p in dist)
+        assert sum(dist) == pytest.approx(1.0)
+
+    def test_single_client_reduces_to_alternating_renewal(self):
+        """N=1: U = Z_service / (Z_think + Z_service) exactly."""
+        from repro.queueing import machine_repairman_utilization
+
+        u = machine_repairman_utilization(1, 1.0, 4.0)
+        assert u == pytest.approx((1 / 4.0) / (1.0 + 1 / 4.0))
+
+    @pytest.mark.parametrize("population", [2, 5, 10])
+    def test_simulation_matches_closed_form(self, population):
+        from repro.queueing import (
+            ClosedLoopPopulation,
+            machine_repairman_mean_sojourn,
+            machine_repairman_throughput,
+            machine_repairman_utilization,
+            simulate_closed_loop,
+        )
+
+        think_mean, service_mean = 1.0, 0.2
+        think_rate, service_rate = 1.0 / think_mean, 1.0 / service_mean
+        result = simulate_closed_loop(
+            np.zeros(40_000, dtype=np.int64),
+            make_partitioner("kg", 1, seed=42),
+            ClosedLoopPopulation(population, ExponentialService(think_mean)),
+            ExponentialService(service_mean),
+            seed=7,
+            warmup_fraction=0.1,
+        )
+        assert result.completed == result.num_messages
+        assert result.dropped == 0
+        args = (population, think_rate, service_rate)
+        assert (
+            relative_error(
+                result.utilization, machine_repairman_utilization(*args)
+            )
+            < TOLERANCE
+        )
+        assert (
+            relative_error(
+                result.throughput, machine_repairman_throughput(*args)
+            )
+            < TOLERANCE
+        )
+        assert (
+            relative_error(
+                result.mean_sojourn(), machine_repairman_mean_sojourn(*args)
+            )
+            < TOLERANCE
+        )
+
+    def test_population_bounds_in_flight_load(self):
+        """A closed loop never queues more than N-1 behind the server."""
+        from repro.queueing import (
+            ClosedLoopPopulation,
+            simulate_closed_loop,
+        )
+
+        population = 3
+        result = simulate_closed_loop(
+            np.zeros(5_000, dtype=np.int64),
+            make_partitioner("kg", 1, seed=42),
+            ClosedLoopPopulation(population, ExponentialService(0.01)),
+            ExponentialService(1.0),  # brutally slow server
+            seed=3,
+        )
+        # With N requests in flight max, sojourn <= N * max service
+        # sample; the open-loop equivalent would diverge entirely.
+        assert result.completed == 5_000
+        assert result.latency.max <= population * result.busy_time.max()
+
+    def test_closed_loop_is_deterministic(self):
+        from repro.queueing import (
+            ClosedLoopPopulation,
+            simulate_closed_loop,
+        )
+
+        runs = [
+            simulate_closed_loop(
+                np.arange(2_000) % 50,
+                make_partitioner("pkg", 4, seed=42),
+                ClosedLoopPopulation(8, ExponentialService(0.5)),
+                ExponentialService(0.1),
+                seed=11,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].end_time == runs[1].end_time
+        assert runs[0].latency.to_dict() == runs[1].latency.to_dict()
+        np.testing.assert_array_equal(runs[0].busy_time, runs[1].busy_time)
+
+    def test_population_validation(self):
+        from repro.queueing import (
+            ClosedLoopPopulation,
+            machine_repairman_distribution,
+        )
+
+        with pytest.raises(ValueError, match="population"):
+            ClosedLoopPopulation(0, ExponentialService(1.0))
+        with pytest.raises(ValueError, match="population"):
+            machine_repairman_distribution(0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="think rate"):
+            machine_repairman_distribution(2, 0.0, 1.0)
+        with pytest.raises(ValueError, match="service rate"):
+            machine_repairman_distribution(2, 1.0, -1.0)

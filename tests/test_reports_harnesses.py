@@ -90,10 +90,10 @@ class TestSummaries:
 
     def test_fig5a_summary_degradation_and_ratio(self):
         rows = [
-            Fig5aRow("PKG", 0.1e-3, 1000.0, 0.01, 0.02, 0.1),
-            Fig5aRow("PKG", 1.0e-3, 630.0, 0.01, 0.02, 0.1),
-            Fig5aRow("KG", 0.1e-3, 900.0, 0.01, 0.02, 0.1),
-            Fig5aRow("KG", 1.0e-3, 360.0, 0.01, 0.02, 0.1),
+            Fig5aRow("PKG", 0.1e-3, 1000.0, 0.01, 0.02, 0.0199, 0.1),
+            Fig5aRow("PKG", 1.0e-3, 630.0, 0.01, 0.02, 0.019, 0.1),
+            Fig5aRow("KG", 0.1e-3, 900.0, 0.01, 0.02, 0.0199, 0.1),
+            Fig5aRow("KG", 1.0e-3, 360.0, 0.01, 0.02, 0.019, 0.1),
         ]
         summary = summarize_fig5a(rows)
         assert summary["throughput_loss[PKG]"] == pytest.approx(0.37)
@@ -104,11 +104,11 @@ class TestSummaries:
 
     def test_fig5b_summary_crossover(self):
         rows = [
-            Fig5bRow("PKG", 1.0, 80.0, 100.0, 120, 10),
-            Fig5bRow("PKG", 30.0, 120.0, 200.0, 240, 1),
-            Fig5bRow("SG", 1.0, 70.0, 220.0, 250, 10),
-            Fig5bRow("SG", 30.0, 100.0, 410.0, 500, 1),
-            Fig5bRow("KG", 0.0, 100.0, 50.0, 60, 0),
+            Fig5bRow("PKG", 1.0, 80.0, 0.01, 0.02, 0.0195, 100.0, 120, 10),
+            Fig5bRow("PKG", 30.0, 120.0, 0.01, 0.02, 0.0195, 200.0, 240, 1),
+            Fig5bRow("SG", 1.0, 70.0, 0.01, 0.02, 0.0195, 220.0, 250, 10),
+            Fig5bRow("SG", 30.0, 100.0, 0.01, 0.02, 0.0195, 410.0, 500, 1),
+            Fig5bRow("KG", 0.0, 100.0, 0.01, 0.02, 0.0195, 50.0, 60, 0),
         ]
         summary = summarize_fig5b(rows)
         assert summary["pkg_over_sg_memory[T=30s]"] == pytest.approx(200 / 410)
