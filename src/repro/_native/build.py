@@ -110,11 +110,15 @@ class NativeKernels:
             ctypes.c_int64, _INT64_P, _INT64_P, _DOUBLE_P,
             ctypes.c_double, _DOUBLE_P, _INT64_P,
         ]
+        lib.repro_counting_scatter.argtypes = [
+            _INT64_P, ctypes.c_int64, ctypes.c_int64, _INT64_P, _INT64_P,
+        ]
         for fn in (
             lib.repro_greedy_route,
             lib.repro_least_loaded,
             lib.repro_bind_route,
             lib.repro_interleaved_route,
+            lib.repro_counting_scatter,
         ):
             fn.restype = None
 
@@ -162,6 +166,17 @@ class NativeKernels:
             self._i64(table),
             self._i64(loads),
             self._i64(out),
+        )
+
+    def counting_scatter(
+        self,
+        dest: np.ndarray,
+        base: int,
+        cursors: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        self._lib.repro_counting_scatter(
+            self._i64(dest), dest.size, base, self._i64(cursors), self._i64(out)
         )
 
     def interleaved_route(

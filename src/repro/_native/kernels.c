@@ -94,6 +94,20 @@ void repro_bind_route(const int64_t *codes, int64_t m,
     }
 }
 
+/* Stable counting-sort scatter: walk message positions in arrival
+ * order and append each (offset by base) to its destination bucket's
+ * segment.  cursors must arrive holding each bucket's segment start
+ * (the exclusive prefix sum of the bucket counts); on return each
+ * cursor sits at its segment end.  Stability is structural -- each
+ * cursor only moves forward -- so the output is byte-identical to a
+ * stable argsort of dest. */
+void repro_counting_scatter(const int64_t *dest, int64_t n, int64_t base,
+                            int64_t *cursors, int64_t *out)
+{
+    for (int64_t i = 0; i < n; i++)
+        out[cursors[dest[i]]++] = base + i;
+}
+
 /* Multi-source interleaved Greedy-d under a load-estimation mode:
  *   views == NULL            -> global mode (every source reads/writes
  *                               true_loads directly);

@@ -26,12 +26,17 @@ candidate loads -- accelerated by the optional C kernels in
 
 from repro.core.chunks import (
     DEFAULT_CHUNK_SIZE,
+    ArrayChunkSource,
+    ChunkSource,
     EncodedKeys,
+    counting_scatter,
     encode_keys,
     factorize,
     hashed_buckets,
     hashed_choices,
     iter_chunks,
+    iter_keyed_chunks,
+    stream_length,
 )
 from repro.core.engine import (
     EventLoop,
@@ -52,12 +57,17 @@ from repro.core.parallel import (
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "ArrayChunkSource",
+    "ChunkSource",
     "EncodedKeys",
+    "counting_scatter",
     "encode_keys",
     "factorize",
     "hashed_buckets",
     "hashed_choices",
     "iter_chunks",
+    "iter_keyed_chunks",
+    "stream_length",
     "EventLoop",
     "ReplayResult",
     "replay_interleaved",

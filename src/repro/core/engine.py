@@ -35,8 +35,11 @@ from repro._native import get_kernels
 from repro.core.chunks import (
     DEFAULT_CHUNK_SIZE,
     KeyStream,
+    StreamLike,
     as_key_array,
     iter_chunks,
+    iter_keyed_chunks,
+    stream_length,
 )
 from repro.core.metrics import StreamingLoadSeries
 
@@ -338,25 +341,30 @@ def _as_times(
 
 
 def route_chunked(
-    keys: KeyStream,
+    keys: StreamLike,
     partitioner: "Partitioner",
     timestamps: Optional[Sequence[float]] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> np.ndarray:
-    """Full per-message assignments of a stream, routed chunk by chunk."""
-    keys = as_key_array(keys)
-    m = int(keys.size)
+    """Full per-message assignments of a stream, routed chunk by chunk.
+
+    ``keys`` is a materialised array or a bounded-memory
+    :class:`~repro.core.chunks.ChunkSource`; since ``route_chunk`` is
+    chunk-size invariant for every registered scheme, both produce the
+    same assignments for the same underlying stream.
+    """
+    m = stream_length(keys)
     times = _as_times(timestamps, m)
     out = np.empty(m, dtype=np.int64)
-    for start, stop in iter_chunks(m, chunk_size):
-        out[start:stop] = partitioner.route_chunk(
-            keys[start:stop], times[start:stop] if times is not None else None
-        )
+    for start, stop, key_chunk, time_chunk in iter_keyed_chunks(
+        keys, chunk_size, times
+    ):
+        out[start:stop] = partitioner.route_chunk(key_chunk, time_chunk)
     return out
 
 
 def replay_stream(
-    keys: KeyStream,
+    keys: StreamLike,
     partitioner: "Partitioner",
     *,
     timestamps: Optional[Sequence[float]] = None,
@@ -369,16 +377,18 @@ def replay_stream(
     Routes fixed-size chunks through ``partitioner.route_chunk`` and
     accumulates the checkpoint imbalance series as it goes; the full
     assignment array is only materialised on ``keep_assignments``.
+    ``keys`` may be a materialised array or a
+    :class:`~repro.core.chunks.ChunkSource` (one fresh pass; a source
+    iterates on its own chunk grid).
     """
-    keys = as_key_array(keys)
-    m = int(keys.size)
+    m = stream_length(keys)
     times = _as_times(timestamps, m)
     series = StreamingLoadSeries(m, partitioner.num_workers, num_checkpoints)
     assignments = np.empty(m, dtype=np.int64) if keep_assignments else None
-    for start, stop in iter_chunks(m, chunk_size):
-        chunk = partitioner.route_chunk(
-            keys[start:stop], times[start:stop] if times is not None else None
-        )
+    for start, stop, key_chunk, time_chunk in iter_keyed_chunks(
+        keys, chunk_size, times
+    ):
+        chunk = partitioner.route_chunk(key_chunk, time_chunk)
         series.update(chunk)
         if assignments is not None:
             assignments[start:stop] = chunk

@@ -17,8 +17,12 @@ Properties the evaluation layer relies on (and the test suite proves):
   merge-then-query equals query-of-concat, and merging is associative
   and commutative (per-worker stores combine into one cluster store in
   any order);
-* **compact** -- memory is one (int, int) pair per *occupied* bucket:
-  spanning nanoseconds to hours at 1% error needs < 2100 buckets.
+* **compact** -- memory is one contiguous int64 lane per bucket index
+  between the smallest and largest observed sample: spanning
+  nanoseconds to hours at 1% error needs < 2100 lanes.  (The dense
+  span is what makes :meth:`record_many` one ``np.bincount`` add
+  instead of a per-bucket Python loop; serialisation still emits only
+  the occupied buckets.)
 
 Counts, min, max and the total are exact; only quantiles and the mean's
 bucket placement are approximate (the mean itself is tracked exactly).
@@ -44,7 +48,8 @@ class LatencyStore:
         "relative_error",
         "_gamma",
         "_log_gamma",
-        "_buckets",
+        "_bucket_lo",
+        "_bucket_counts",
         "_zero_count",
         "_count",
         "_sum",
@@ -60,8 +65,11 @@ class LatencyStore:
         self.relative_error = float(relative_error)
         self._gamma = (1.0 + self.relative_error) / (1.0 - self.relative_error)
         self._log_gamma = math.log(self._gamma)
-        #: bucket index -> count; bucket i covers (gamma^(i-1), gamma^i].
-        self._buckets: Dict[int, int] = {}
+        #: dense count lanes: ``_bucket_counts[j]`` is the count of
+        #: bucket ``_bucket_lo + j``; bucket i covers (gamma^(i-1),
+        #: gamma^i].  Empty until the first positive sample.
+        self._bucket_lo = 0
+        self._bucket_counts: np.ndarray = np.zeros(0, dtype=np.int64)
         #: values <= 0 (a zero sojourn is representable, if unphysical).
         self._zero_count = 0
         self._count = 0
@@ -92,14 +100,32 @@ class LatencyStore:
         self._zero_count += int(arr.size - positive.size)
         if positive.size:
             indices = np.ceil(np.log(positive) / self._log_gamma).astype(np.int64)
-            uniq, counts = np.unique(indices, return_counts=True)
-            buckets = self._buckets
-            for i, c in zip(uniq.tolist(), counts.tolist()):
-                buckets[i] = buckets.get(i, 0) + c
+            self._ensure_span(int(indices.min()), int(indices.max()))
+            self._bucket_counts += np.bincount(
+                indices - self._bucket_lo, minlength=self._bucket_counts.size
+            )
         self._count += int(arr.size)
         self._sum += float(arr.sum())
         self._min = min(self._min, float(arr.min()))
         self._max = max(self._max, float(arr.max()))
+
+    def _ensure_span(self, lo: int, hi: int) -> None:
+        """Grow the dense lanes to cover bucket indices ``[lo, hi]``."""
+        if self._bucket_counts.size == 0:
+            self._bucket_lo = lo
+            self._bucket_counts = np.zeros(hi - lo + 1, dtype=np.int64)
+            return
+        cur_lo = self._bucket_lo
+        cur_hi = cur_lo + self._bucket_counts.size - 1
+        if lo >= cur_lo and hi <= cur_hi:
+            return
+        new_lo = min(lo, cur_lo)
+        new_hi = max(hi, cur_hi)
+        grown = np.zeros(new_hi - new_lo + 1, dtype=np.int64)
+        offset = cur_lo - new_lo
+        grown[offset : offset + self._bucket_counts.size] = self._bucket_counts
+        self._bucket_lo = new_lo
+        self._bucket_counts = grown
 
     # -- merging ------------------------------------------------------------
 
@@ -118,9 +144,17 @@ class LatencyStore:
                 f"({self.relative_error} vs {other.relative_error})"
             )
         merged = LatencyStore(self.relative_error)
-        merged._buckets = dict(self._buckets)
-        for i, c in other._buckets.items():
-            merged._buckets[i] = merged._buckets.get(i, 0) + c
+        merged._bucket_lo = self._bucket_lo
+        merged._bucket_counts = self._bucket_counts.copy()
+        if other._bucket_counts.size:
+            other_lo = other._bucket_lo
+            merged._ensure_span(
+                other_lo, other_lo + other._bucket_counts.size - 1
+            )
+            offset = other_lo - merged._bucket_lo
+            merged._bucket_counts[
+                offset : offset + other._bucket_counts.size
+            ] += other._bucket_counts
         merged._zero_count = self._zero_count + other._zero_count
         merged._count = self._count + other._count
         merged._sum = self._sum + other._sum
@@ -173,22 +207,24 @@ class LatencyStore:
         rank = max(1, math.ceil(q * self._count))
         if rank <= self._zero_count:
             return 0.0
-        cumulative = self._zero_count
-        for i in sorted(self._buckets):
-            cumulative += self._buckets[i]
-            if cumulative >= rank:
-                # mid-bucket estimate: gamma^i * (1 - e), within +-e of
-                # every value in (gamma^(i-1), gamma^i].
-                return (self._gamma ** i) * (1.0 - self.relative_error)
-        return self._max  # unreachable; counts always sum to _count
+        cumulative = self._zero_count + np.cumsum(self._bucket_counts)
+        pos = int(np.searchsorted(cumulative, rank))
+        if pos >= cumulative.size:
+            return self._max  # unreachable; counts always sum to _count
+        # mid-bucket estimate: gamma^i * (1 - e), within +-e of every
+        # value in (gamma^(i-1), gamma^i].
+        i = self._bucket_lo + pos
+        return (self._gamma ** i) * (1.0 - self.relative_error)
 
     def quantiles(self, qs: Sequence[float]) -> List[float]:
         """Batch :meth:`quantile` (one bucket walk per query)."""
         return [self.quantile(q) for q in qs]
 
     def num_buckets(self) -> int:
-        """Occupied buckets -- the store's memory footprint."""
-        return len(self._buckets) + (1 if self._zero_count else 0)
+        """Occupied buckets (what serialisation emits)."""
+        return int(np.count_nonzero(self._bucket_counts)) + (
+            1 if self._zero_count else 0
+        )
 
     # -- serialisation ------------------------------------------------------
 
@@ -201,13 +237,21 @@ class LatencyStore:
             "sum": self._sum,
             "min": self._min if self._count else None,
             "max": self._max if self._count else None,
-            "buckets": {str(i): c for i, c in sorted(self._buckets.items())},
+            "buckets": {
+                str(self._bucket_lo + j): int(c)
+                for j, c in enumerate(self._bucket_counts.tolist())
+                if c
+            },
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LatencyStore":
         store = cls(float(data["relative_error"]))
-        store._buckets = {int(i): int(c) for i, c in data["buckets"].items()}
+        occupied = {int(i): int(c) for i, c in data["buckets"].items()}
+        if occupied:
+            store._ensure_span(min(occupied), max(occupied))
+            for i, c in occupied.items():
+                store._bucket_counts[i - store._bucket_lo] = c
         store._zero_count = int(data["zero_count"])
         store._count = int(data["count"])
         store._sum = float(data["sum"])

@@ -175,8 +175,11 @@ def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
     standard diff gate (tolerance, direction, exit code) applies to
     throughput trajectories unchanged.  The sharded runtime's
     ``<scheme>@e2e`` entries map the same way:
-    ``e2e_messages_per_second`` is higher-is-better and
-    ``p99_sojourn_seconds`` lower-is-better.  Suite-level entries
+    ``e2e_messages_per_second`` is higher-is-better;
+    ``p99_sojourn_seconds``, the per-stage transport breakdown
+    (``route_seconds`` / ``scatter_seconds`` / ``flush_stall_seconds``
+    / ``drain_seconds``) and the ``transport_overhead_ratio`` are
+    lower-is-better.  Suite-level entries
     carrying ``sweep_wall_clock_seconds`` (the experiments-sweep wall
     clock written by ``repro.reports run``) become lower-is-better
     metrics, so the parallel executor's end-to-end time is gated the
@@ -211,6 +214,24 @@ def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
                     direction="lower",
                 )
             )
+        # The e2e transport breakdown: every stage second and the
+        # overhead ratio shrink as the transport path gets cheaper, so
+        # all are lower-is-better and gated like the throughputs.
+        for stage_field in (
+            "route_seconds",
+            "scatter_seconds",
+            "flush_stall_seconds",
+            "drain_seconds",
+            "transport_overhead_ratio",
+        ):
+            if stage_field in entry:
+                metrics.append(
+                    Metric(
+                        name=f"{entry['name']}.{stage_field}",
+                        value=float(entry[stage_field]),
+                        direction="lower",
+                    )
+                )
         if "sweep_wall_clock_seconds" in entry:
             # The job count is part of the metric name: wall clocks are
             # only like-for-like at the same fan-out width, so runs at

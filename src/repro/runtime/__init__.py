@@ -3,8 +3,11 @@
 Public surface of :mod:`repro.runtime`:
 
 * :func:`run_runtime` / :class:`RuntimeConfig` / :class:`RuntimeResult`
-  -- run a stream through W sharded workers (real processes over
-  shared-memory rings, or the in-process simulated-rings fallback);
+  -- run a stream (a materialised array or a bounded-memory
+  :class:`~repro.core.chunks.ChunkSource`) through W sharded workers
+  (real processes over shared-memory rings, or the in-process
+  simulated-rings fallback), with coalescing staging buffers and a
+  per-stage wall breakdown in ``RuntimeResult.stage_seconds``;
 * :class:`SpscRing` -- the bounded single-producer/single-consumer ring;
 * :func:`push_with_backpressure` -- block/spin/drop policies with
   exact drop accounting;
@@ -21,7 +24,7 @@ from repro.runtime.backpressure import (
     RingStalledError,
     push_with_backpressure,
 )
-from repro.runtime.bench import DEFAULT_E2E_SCHEMES, bench_throughput_e2e
+from repro.runtime.bench import DEFAULT_E2E_SCHEMES, bench_throughput_e2e, e2e_entry
 from repro.runtime.engine import (
     MODES,
     RuntimeConfig,
@@ -45,6 +48,7 @@ __all__ = [
     "WorkerLoop",
     "WorkerSpec",
     "bench_throughput_e2e",
+    "e2e_entry",
     "push_with_backpressure",
     "ring_nbytes",
     "run_runtime",

@@ -1,11 +1,15 @@
 """Command-line entry point: ``python -m repro.runtime``.
 
 Runs one stream through the sharded runtime per scheme and prints a
-table of per-worker counts, end-to-end throughput and p99 sojourn.
+table of per-worker counts, end-to-end throughput, the per-stage wall
+breakdown (route / scatter / flush-stall / drain) and p99 sojourn.
 ``--verify`` additionally replays the same stream through the
 single-process engine with a fresh partitioner and asserts the
 per-worker counts match exactly (the determinism contract); the exit
-code is non-zero on any mismatch.  ``--bench`` merges the measured
+code is non-zero on any mismatch.  ``--streaming`` generates the keys
+chunk-wise through the dataset's ``ChunkSource`` instead of
+materialising them (the verify replay then re-iterates the same source
+-- byte-identical by construction).  ``--bench`` merges the measured
 ``<scheme>@e2e`` entries into ``BENCH_partitioners.json``.
 """
 
@@ -16,7 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.runtime.bench import DEFAULT_E2E_SCHEMES
+from repro.runtime.bench import DEFAULT_E2E_SCHEMES, e2e_entry
 from repro.runtime.engine import (
     MODES,
     RuntimeConfig,
@@ -76,6 +80,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "environment supports them, else in-process simulated rings",
     )
     parser.add_argument(
+        "--flush-size",
+        type=int,
+        default=8192,
+        help="per-worker staging-buffer slots; stages flush to the ring "
+        "when full or at end-of-stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="generate keys chunk-wise (bounded memory) instead of "
+        "materialising the stream up front",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="assert per-worker counts equal the single-process replay",
@@ -92,6 +109,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         policy=args.policy,
         service_cost=args.service_cost,
         mode=args.mode,
+        flush_size=args.flush_size,
     )
     if args.mode == "auto" and not runtime_available():
         print(
@@ -99,7 +117,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "running in-process simulated rings"
         )
 
-    keys = get_dataset(args.dataset).stream(args.messages, seed=args.seed)
+    spec = get_dataset(args.dataset)
+    keys = (
+        spec.chunk_source(args.messages, seed=args.seed)
+        if args.streaming
+        else spec.stream(args.messages, seed=args.seed)
+    )
     failures = 0
     results = []
     for scheme in args.schemes:
@@ -116,6 +139,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             line += f"  dropped={result.dropped}"
         print(line)
         print(f"{'':>16}  worker_loads={result.worker_loads.tolist()}")
+        stages = result.stage_seconds
+        print(
+            f"{'':>16}  stages: route={stages['route'] * 1e3:.1f}ms "
+            f"scatter={stages['scatter'] * 1e3:.1f}ms "
+            f"flush_stall={stages['flush_stall'] * 1e3:.1f}ms "
+            f"drain={stages['drain'] * 1e3:.1f}ms  "
+            f"flushes={result.flushes}  "
+            f"overhead={result.transport_overhead_ratio:.2f}x"
+        )
         if args.verify:
             fresh = make_partitioner(scheme, args.workers, seed=args.seed)
             replay = replay_stream(keys, fresh)
@@ -138,17 +170,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.reports.bench import merge_bench_results, write_bench_snapshot
 
         entries = [
-            {
-                "name": f"{scheme}@e2e",
-                "e2e_messages_per_second": result.messages_per_second,
-                "p99_sojourn_seconds": result.p99_sojourn(),
-                "duration_seconds": result.wall_seconds,
-                "num_messages": result.num_messages,
-                "num_workers": result.num_workers,
-                "mode": result.mode,
-                "policy": result.policy,
-                "dropped": result.dropped,
-            }
+            e2e_entry(scheme, result, streaming=args.streaming)
             for scheme, result in results
         ]
         merged = merge_bench_results("partitioners", entries)

@@ -8,6 +8,22 @@ SPSC rings, one per worker.  W workers drain their rings concurrently,
 apply the per-message service cost, and keep private accumulators that
 merge once at shutdown (:mod:`repro.runtime.worker`).
 
+**Transport path.**  Each routed chunk is grouped by destination with a
+*stable counting-sort scatter* (:func:`repro.core.chunks.
+counting_scatter`: one ``bincount``, cumulative offsets, one linear
+scatter pass -- O(n + W), not a comparison sort), then appended to
+per-worker **coalescing staging buffers**.  A worker's stage flushes to
+its ring only when full (``flush_size`` ids) or at end-of-stream, with
+one wall-clock stamp per flush written into a preallocated stamp lane
+-- so ring pushes, clock reads and stamp allocations are amortised over
+``flush_size`` messages instead of paid per (chunk, worker).  Because
+the scatter is stable and each stage drains in append order, every
+worker still sees its sub-stream in arrival order (FIFO end to end) at
+*any* flush size.  The input stream itself may be a materialised array
+or a bounded-memory :class:`~repro.core.chunks.ChunkSource`.  Per-stage
+wall time (route / scatter / flush-stall / drain) is measured and
+reported in ``RuntimeResult.stage_seconds``.
+
 **Determinism contract.**  Every routing decision happens in the source,
 on the same chunk boundaries, through the same partitioner state
 evolution as the single-process replay.  Workers only *count* what
@@ -40,7 +56,13 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.chunks import DEFAULT_CHUNK_SIZE, KeyStream, as_key_array, iter_chunks
+from repro.core.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    StreamLike,
+    counting_scatter,
+    iter_keyed_chunks,
+    stream_length,
+)
 from repro.core.metrics import StreamingLoadSeries
 from repro.queueing.latency import DEFAULT_RELATIVE_ERROR, LatencyStore
 from repro.runtime.backpressure import POLICIES, push_with_backpressure
@@ -85,10 +107,24 @@ class RuntimeConfig:
     max_batch: int = 4096
     #: seconds to wait for each worker report/join before giving up.
     join_timeout: float = 120.0
+    #: per-worker staging-buffer slots; a worker's stage flushes to its
+    #: ring when full or at end-of-stream.  Flush-size choice never
+    #: changes routing or per-worker order (the scatter is stable and
+    #: stages drain in append order); it only trades ring-push amortis-
+    #: ation against stamp granularity.  Under "drop" a flush larger
+    #: than ``capacity`` guarantees shedding.
+    flush_size: int = 8192
+    #: record each worker's popped message ids in its report (tests
+    #: use this to assert end-to-end FIFO order; costs memory).
+    capture_indices: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.flush_size < 1:
+            raise ValueError(
+                f"flush_size must be >= 1, got {self.flush_size}"
+            )
         if self.policy not in POLICIES:
             raise ValueError(
                 f"policy must be one of {POLICIES}, got {self.policy!r}"
@@ -123,6 +159,14 @@ class RuntimeResult:
     #: merged end-to-end sojourn sketch (enqueue -> processed).
     latency: LatencyStore
     wall_seconds: float
+    #: source-side wall breakdown: "route" (partitioner decisions +
+    #: balance metrics), "scatter" (counting-sort grouping + staging
+    #: appends), "flush_stall" (ring pushes, including every stall the
+    #: backpressure policy absorbed), "drain" (end-of-stream wait for
+    #: the workers to finish and report).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: staging-buffer flushes performed (ring pushes issued).
+    flushes: int = 0
     worker_reports: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
@@ -139,6 +183,17 @@ class RuntimeResult:
     def messages_per_second(self) -> float:
         """End-to-end throughput (processed messages over wall time)."""
         return self.processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def transport_overhead_ratio(self) -> float:
+        """Source wall time over pure routing time (>= 1.0; 1.0 = free).
+
+        The tracked "transport tax": how much slower the sharded path is
+        than the routing decisions alone.  0.0 when the route stage was
+        too fast to measure.
+        """
+        route = self.stage_seconds.get("route", 0.0)
+        return self.wall_seconds / route if route > 0 else 0.0
 
     def p99_sojourn(self) -> float:
         """p99 end-to-end sojourn in seconds (0.0 if nothing processed)."""
@@ -224,6 +279,7 @@ class _SimulatedBackend:
                 checkpoint_interval=config.checkpoint_interval,
                 relative_error=config.relative_error,
                 max_batch=config.max_batch,
+                capture_indices=config.capture_indices,
             )
             for w in range(num_workers)
         ]
@@ -292,6 +348,7 @@ class _ProcessBackend:
                     checkpoint_interval=config.checkpoint_interval,
                     relative_error=config.relative_error,
                     max_batch=config.max_batch,
+                    capture_indices=config.capture_indices,
                 )
                 proc = multiprocessing.Process(
                     target=worker_main, args=(spec, self.results), daemon=True
@@ -364,7 +421,7 @@ def _resolve_mode(mode: str) -> str:
 
 
 def run_runtime(
-    keys: KeyStream,
+    keys: StreamLike,
     partitioner: "Partitioner",
     config: Optional[RuntimeConfig] = None,
     *,
@@ -378,10 +435,12 @@ def run_runtime(
     fresh ``partitioner``; the returned ``routed_loads``,
     ``checkpoint_positions`` and ``imbalance_series`` are the replay's,
     and under a lossless policy ``worker_loads`` equals ``routed_loads``.
+    ``keys`` may be a materialised array or a bounded-memory
+    :class:`~repro.core.chunks.ChunkSource` (one fresh pass on the
+    source's own chunk grid; ``timestamps`` requires an array input).
     """
     config = config or RuntimeConfig()
-    keys = as_key_array(keys)
-    m = int(keys.size)
+    m = stream_length(keys)
     times: Optional[np.ndarray] = None
     if timestamps is not None:
         times = np.asarray(timestamps, dtype=np.float64)
@@ -400,36 +459,81 @@ def run_runtime(
     series = StreamingLoadSeries(m, num_workers, num_checkpoints)
     dropped = np.zeros(num_workers, dtype=np.int64)
     stalls = 0
-    worker_range = np.arange(num_workers + 1, dtype=np.int64)
-    try:
+    flushes = 0
+    flush = int(config.flush_size)
+    # Coalescing staging: per-worker id rows that fill across chunks and
+    # flush to the ring only when full or at end-of-stream.  One stamp
+    # lane is shared by every flush -- the ring copies on push -- so the
+    # per-flush cost is one clock read plus one vector fill, not a
+    # fresh allocation.
+    stage_ids = np.empty((num_workers, flush), dtype=np.int64)
+    stage_fill = [0] * num_workers
+    stamp_lane = np.empty(flush, dtype=np.float64)
+    route_seconds = 0.0
+    scatter_seconds = 0.0
+    flush_seconds = 0.0
+
+    def flush_worker(w: int) -> None:
+        """Push worker ``w``'s staged ids (one shared stamp per flush)."""
+        nonlocal stalls, flushes, flush_seconds
+        n = stage_fill[w]
+        if n == 0:
+            return
         # Wall time + enqueue stamps are runtime telemetry, never
-        # routing inputs (REPRO002 noqa on each read below): the e2e
-        # throughput and sojourn numbers are the point of this engine,
-        # and no load count or partitioner decision depends on them.
+        # routing inputs (REPRO002 noqa on each read in this loop): the
+        # e2e throughput, sojourn, and stage-breakdown numbers are the
+        # point of this engine, and no load count or partitioner
+        # decision depends on them.
+        before = time.perf_counter()  # repro: noqa[REPRO002]
+        stamp_lane[:n] = before
+        outcome = backend.push(w, stage_ids[w, :n], stamp_lane[:n])
+        flush_seconds += time.perf_counter() - before  # repro: noqa[REPRO002]
+        dropped[w] += outcome.dropped
+        stalls += outcome.stalls
+        flushes += 1
+        stage_fill[w] = 0
+
+    try:
         start_wall = time.perf_counter()  # repro: noqa[REPRO002]
-        for start, stop in iter_chunks(m, config.chunk_size):
-            chunk = partitioner.route_chunk(
-                keys[start:stop],
-                times[start:stop] if times is not None else None,
-            )
+        for start, _stop, key_chunk, time_chunk in iter_keyed_chunks(
+            keys, config.chunk_size, times
+        ):
+            tick = time.perf_counter()  # repro: noqa[REPRO002]
+            chunk = partitioner.route_chunk(key_chunk, time_chunk)
             series.update(chunk)
-            # Scatter: group the chunk's message indices by worker with
-            # a stable sort, so each worker's sub-stream stays in
-            # arrival order (FIFO end to end).
-            order = np.argsort(chunk, kind="stable")
-            boundaries = np.searchsorted(chunk[order], worker_range)
-            message_ids = order.astype(np.int64) + start
+            routed_tick = time.perf_counter()  # repro: noqa[REPRO002]
+            route_seconds += routed_tick - tick
+            flushed_before = flush_seconds
+            # Scatter: group the chunk's message ids by worker with the
+            # stable counting sort, then append each worker's segment to
+            # its staging row, flushing whenever a row fills.  Stability
+            # plus append order keeps every worker's sub-stream in
+            # arrival order (FIFO end to end) at any flush size.
+            _counts, boundaries, grouped = counting_scatter(
+                chunk, num_workers, base=start
+            )
+            bounds = boundaries.tolist()
             for w in range(num_workers):
-                lo, hi = int(boundaries[w]), int(boundaries[w + 1])
-                if lo == hi:
-                    continue
-                now = time.perf_counter()  # repro: noqa[REPRO002]
-                stamps = np.full(hi - lo, now, dtype=np.float64)
-                outcome = backend.push(w, message_ids[lo:hi], stamps)
-                dropped[w] += outcome.dropped
-                stalls += outcome.stalls
+                lo, hi = bounds[w], bounds[w + 1]
+                while lo < hi:
+                    fill = stage_fill[w]
+                    take = min(hi - lo, flush - fill)
+                    stage_ids[w, fill : fill + take] = grouped[lo : lo + take]
+                    stage_fill[w] = fill + take
+                    lo += take
+                    if stage_fill[w] == flush:
+                        flush_worker(w)
+            scatter_tick = time.perf_counter()  # repro: noqa[REPRO002]
+            scatter_seconds += (scatter_tick - routed_tick) - (
+                flush_seconds - flushed_before
+            )
+        for w in range(num_workers):
+            flush_worker(w)
+        drain_tick = time.perf_counter()  # repro: noqa[REPRO002]
         reports = backend.finish()
-        wall = time.perf_counter() - start_wall  # repro: noqa[REPRO002]
+        end_wall = time.perf_counter()  # repro: noqa[REPRO002]
+        drain_seconds = end_wall - drain_tick
+        wall = end_wall - start_wall
     finally:
         backend.close()
 
@@ -462,5 +566,12 @@ def run_runtime(
         imbalance_series=imbalances,
         latency=latency,
         wall_seconds=wall,
+        stage_seconds={
+            "route": route_seconds,
+            "scatter": scatter_seconds,
+            "flush_stall": flush_seconds,
+            "drain": drain_seconds,
+        },
+        flushes=flushes,
         worker_reports=reports,
     )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -53,6 +53,8 @@ class WorkerSpec:
     relative_error: float = DEFAULT_RELATIVE_ERROR
     #: largest batch one drain step pops.
     max_batch: int = 4096
+    #: record every popped message id in the final report ("indices").
+    capture_indices: bool = False
 
 
 def _busy_wait(seconds: float) -> None:
@@ -85,6 +87,7 @@ class WorkerLoop:
         checkpoint_interval: int = 4096,
         relative_error: float = DEFAULT_RELATIVE_ERROR,
         max_batch: int = 4096,
+        capture_indices: bool = False,
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError(
@@ -105,6 +108,11 @@ class WorkerLoop:
         self.latency = LatencyStore(relative_error)
         self.checkpoints_published = 0
         self._since_checkpoint = 0
+        #: popped message ids, batch by batch (tests assert FIFO order
+        #: against the replay's assignments; None = not capturing).
+        self.captured: Optional[List[np.ndarray]] = (
+            [] if capture_indices else None
+        )
 
     @classmethod
     def from_spec(
@@ -118,6 +126,7 @@ class WorkerLoop:
             checkpoint_interval=spec.checkpoint_interval,
             relative_error=spec.relative_error,
             max_batch=spec.max_batch,
+            capture_indices=spec.capture_indices,
         )
 
     def step(self) -> int:
@@ -126,6 +135,8 @@ class WorkerLoop:
         n = int(indices.size)
         if n == 0:
             return 0
+        if self.captured is not None:
+            self.captured.append(indices.copy())
         if self.service_cost > 0.0:
             _busy_wait(n * self.service_cost)
         # Sojourn = dequeue-complete minus enqueue stamp: a real
@@ -161,12 +172,19 @@ class WorkerLoop:
 
     def report(self) -> Dict[str, Any]:
         """The worker's final reduced state (sent to the engine once)."""
-        return {
+        report: Dict[str, Any] = {
             "worker_id": self.worker_id,
             "count": self.count,
             "checkpoints_published": self.checkpoints_published,
             "latency": self.latency.to_dict(),
         }
+        if self.captured is not None:
+            report["indices"] = (
+                np.concatenate(self.captured)
+                if self.captured
+                else np.empty(0, dtype=np.int64)
+            )
+        return report
 
 
 def worker_main(spec: WorkerSpec, result_queue: Any) -> None:

@@ -27,10 +27,11 @@ scale-free graphs via :class:`repro.streams.graphs.EdgeStream`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
+from repro.core.chunks import DEFAULT_CHUNK_SIZE, ArrayChunkSource, ChunkSource
 from repro.streams.distributions import (
     KeyDistribution,
     LogNormalKeyDistribution,
@@ -137,6 +138,50 @@ class DatasetSpec:
             )
             return drifter.generate(m)
         return dist.sample(m, np.random.default_rng(seed))
+
+    def chunk_source(
+        self,
+        num_messages: Optional[int] = None,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        method: str = "cdf",
+    ) -> ChunkSource:
+        """A bounded-memory chunk source for this dataset's stream.
+
+        For stationary datasets (zipf/lognormal) this samples chunk by
+        chunk, and with ``method="cdf"`` the concatenated chunks are
+        **byte-identical** to :meth:`stream` under the same seed (the
+        generator's uniforms concatenate exactly; the test suite
+        asserts it).  Drift datasets (CT) consume randomness in
+        whole-stream order -- all epoch ranks first, then per-epoch
+        victims -- so chunk-wise generation cannot reproduce
+        :meth:`stream` byte for byte; they fall back to a materialised
+        :class:`~repro.core.chunks.ArrayChunkSource` over the exact
+        :meth:`stream` output instead.
+        """
+        m = self.default_messages if num_messages is None else int(num_messages)
+        if m < 0:
+            raise ValueError(f"num_messages must be >= 0, got {m}")
+        if self.kind == "drift":
+            return ArrayChunkSource(
+                self.stream(m, seed=seed), seed=seed, chunk_size=chunk_size
+            )
+        return self.distribution().chunk_source(
+            m, seed=seed, chunk_size=chunk_size, method=method
+        )
+
+    def iter_stream(
+        self,
+        num_messages: Optional[int] = None,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[np.ndarray]:
+        """Stream this dataset chunk by chunk in bounded memory.
+
+        ``np.concatenate(list(iter_stream(m, seed)))`` equals
+        ``stream(m, seed)`` byte for byte, for every dataset kind.
+        """
+        return self.chunk_source(num_messages, seed=seed, chunk_size=chunk_size).chunks()
 
     @property
     def scale_factor(self) -> float:

@@ -5,6 +5,21 @@ probability (``p1 >= p2 >= ...``), as in the paper.  Every distribution
 exposes the probability vector, the head probability ``p1`` (the single
 quantity that drives the paper's feasibility threshold ``W = O(1/p1)``),
 and fast sampling through a cached inverse-CDF.
+
+Two streaming extras feed the runtime's bounded-memory mode:
+
+* :meth:`KeyDistribution.chunk_source` wraps sampling in a
+  :class:`~repro.core.chunks.ChunkSource`.  Because ``Generator.random``
+  consumes the underlying bit stream sequentially, chunked inverse-CDF
+  draws concatenate **byte-identically** to one materialised
+  ``sample(m)`` under the same seed -- the property the runtime's
+  streaming ``--verify`` rests on.
+* :class:`AliasSampler` (Vose's alias method) is the O(1)-per-draw
+  alternative for huge key universes: O(K) build, one uniform and two
+  table reads per key, no binary search.  Same rng consumption (one
+  ``random()`` per draw) but a *different* mapping from uniforms to
+  keys, so it is deterministic under a seed yet not byte-identical to
+  the inverse-CDF stream.
 """
 
 from __future__ import annotations
@@ -13,6 +28,8 @@ from abc import ABC, abstractmethod
 from typing import Optional, Sequence
 
 import numpy as np
+
+from repro.core.chunks import DEFAULT_CHUNK_SIZE, ChunkSource
 
 
 class KeyDistribution(ABC):
@@ -26,6 +43,7 @@ class KeyDistribution(ABC):
     def __init__(self) -> None:
         self._probs: Optional[np.ndarray] = None
         self._cdf: Optional[np.ndarray] = None
+        self._alias: Optional["AliasSampler"] = None
 
     @abstractmethod
     def _build_probabilities(self) -> np.ndarray:
@@ -110,6 +128,107 @@ class KeyDistribution(ABC):
     def expected_counts(self, num_messages: int) -> np.ndarray:
         """Expected number of occurrences per key in a stream of length m."""
         return self.probabilities * float(num_messages)
+
+    def alias_sampler(self) -> "AliasSampler":
+        """The cached Vose alias sampler for this distribution."""
+        if self._alias is None:
+            self._alias = AliasSampler(self.probabilities)
+        return self._alias
+
+    def chunk_source(
+        self,
+        num_messages: int,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        method: str = "cdf",
+    ) -> "DistributionChunkSource":
+        """A bounded-memory :class:`~repro.core.chunks.ChunkSource` of D.
+
+        ``method="cdf"`` draws through the inverse CDF -- byte-identical
+        to ``sample(num_messages, seed=seed)`` chunk boundaries or not,
+        because sequential ``Generator.random`` calls concatenate
+        exactly.  ``method="alias"`` draws through the alias table --
+        O(1) per key instead of O(log K), still deterministic under the
+        seed, but a different stream.
+        """
+        return DistributionChunkSource(
+            self, num_messages, seed=seed, chunk_size=chunk_size, method=method
+        )
+
+
+class AliasSampler:
+    """Vose's alias method: O(K) build, O(1) per draw.
+
+    The key universe is split into ``K`` equal-mass columns; column
+    ``i`` keeps probability ``prob[i]`` of returning key ``i`` and
+    hands the rest to ``alias[i]``.  One uniform per draw selects the
+    column (integer part) and the branch (fractional part) -- no
+    binary search, so sampling cost is independent of ``K``.
+    """
+
+    def __init__(self, probabilities: Sequence[float]) -> None:
+        p = np.ascontiguousarray(probabilities, dtype=np.float64)
+        if p.ndim != 1 or p.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-d array")
+        total = float(p.sum())
+        if total <= 0 or np.any(p < 0):
+            raise ValueError("probabilities must be non-negative with positive mass")
+        num_keys = int(p.size)
+        scaled = (p / total * num_keys).tolist()
+        prob = np.ones(num_keys, dtype=np.float64)
+        alias = np.arange(num_keys, dtype=np.int64)
+        small = [i for i in range(num_keys) if scaled[i] < 1.0]
+        large = [i for i in range(num_keys) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            big = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = big
+            scaled[big] -= 1.0 - scaled[s]
+            (small if scaled[big] < 1.0 else large).append(big)
+        # Leftovers are exactly-1 columns up to float round-off.
+        self._prob = prob
+        self._alias = alias
+        self.num_keys = num_keys
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` i.i.d. keys (one uniform per draw)."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        u = rng.random(size) * self.num_keys
+        idx = u.astype(np.int64)
+        # u * K can round up to exactly K in float64; clamp to the
+        # last column instead of indexing out of bounds.
+        np.minimum(idx, self.num_keys - 1, out=idx)
+        frac = u - idx
+        return np.where(frac < self._prob[idx], idx, self._alias[idx])
+
+
+class DistributionChunkSource(ChunkSource):
+    """Chunk-wise i.i.d. sampling from a :class:`KeyDistribution`."""
+
+    METHODS = ("cdf", "alias")
+
+    def __init__(
+        self,
+        distribution: KeyDistribution,
+        num_messages: int,
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        method: str = "cdf",
+    ) -> None:
+        if method not in self.METHODS:
+            raise ValueError(
+                f"method must be one of {self.METHODS}, got {method!r}"
+            )
+        super().__init__(num_messages, seed=seed, chunk_size=chunk_size)
+        self.distribution = distribution
+        self.method = method
+
+    def sample_chunk(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        if self.method == "alias":
+            return self.distribution.alias_sampler().sample(size, rng)
+        return self.distribution.sample(size, rng)
 
 
 class ZipfKeyDistribution(KeyDistribution):

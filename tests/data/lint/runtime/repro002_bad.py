@@ -12,3 +12,10 @@ def stamp_enqueue(indices):
 def worker_step(ring):
     now = perf_counter()  # line 13: from-import resolves the same
     return ring, now
+
+
+def flush_stage(stage_ids, fill, stamp_lane):
+    # line 19: coalesced-flush stamp read without a sign-off
+    before = time.perf_counter()
+    stamp_lane[:fill] = before
+    return stage_ids[:fill], stamp_lane[:fill]

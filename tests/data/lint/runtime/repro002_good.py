@@ -15,3 +15,10 @@ def stamp_enqueue(indices):
 def sleep_is_not_a_clock_read(interval):
     # time.sleep does not *read* the clock; no suppression needed.
     time.sleep(interval)
+
+
+def flush_stage(stage_ids, fill, stamp_lane):
+    # One signed-off stamp per coalesced flush, shared by the batch.
+    before = time.perf_counter()  # repro: noqa[REPRO002] - flush stamp
+    stamp_lane[:fill] = before
+    return stage_ids[:fill], stamp_lane[:fill]

@@ -13,6 +13,8 @@ load-bearing and tested as *properties* over arbitrary inputs:
   parallel sweep shards stay byte-identical with serial runs.
 """
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -126,6 +128,80 @@ class TestMergeSemantics:
     def test_merge_requires_matching_error(self):
         with pytest.raises(ValueError):
             LatencyStore(0.01).merge(LatencyStore(0.02))
+
+
+class TestBulkEquivalence:
+    """Vectorized record_many == a loop of scalar record calls.
+
+    The bulk path accumulates bucket hits through one ``np.bincount``
+    over the dense lanes; buckets, counts, min/max and every quantile
+    must equal the scalar path exactly.  Only the running ``sum`` may
+    differ in the last ulp (numpy's pairwise summation vs sequential
+    adds), so it is compared under a tight relative tolerance instead.
+    """
+
+    @given(samples_strategy)
+    @settings(max_examples=200)
+    def test_bulk_equals_scalar_loop(self, values):
+        bulk = LatencyStore()
+        bulk.record_many(np.asarray(values))
+        scalar = LatencyStore()
+        for v in values:
+            scalar.record(v)
+
+        bulk_state = bulk.to_dict()
+        scalar_state = scalar.to_dict()
+        bulk_sum = bulk_state.pop("sum")
+        scalar_sum = scalar_state.pop("sum")
+        assert bulk_state == scalar_state  # buckets, counts, min, max
+        assert math.isclose(bulk_sum, scalar_sum, rel_tol=1e-12)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert bulk.quantile(q) == scalar.quantile(q)
+
+    @given(samples_strategy, samples_strategy)
+    @settings(max_examples=100)
+    def test_interleaved_bulk_and_scalar(self, a, b):
+        # Bulk after scalar (and vice versa) lands in the same buckets.
+        mixed = LatencyStore()
+        for v in a:
+            mixed.record(v)
+        mixed.record_many(np.asarray(b))
+        pure = LatencyStore()
+        pure.record_many(np.asarray(a + b))
+        ms, ps = mixed.to_dict(), pure.to_dict()
+        ms.pop("sum"), ps.pop("sum")
+        assert ms == ps
+
+    def test_bulk_with_zero_and_negative(self):
+        store = LatencyStore()
+        store.record_many(np.asarray([-2.0, 0.0, 1e-6, 3.0]))
+        scalar = LatencyStore()
+        for v in (-2.0, 0.0, 1e-6, 3.0):
+            scalar.record(v)
+        assert store.num_buckets() == scalar.num_buckets()
+        assert store.quantile(0.5) == scalar.quantile(0.5)
+
+    def test_empty_bulk_is_a_noop(self):
+        store = LatencyStore()
+        store.record_many(np.empty(0))
+        assert store.count == 0
+
+    def test_wide_span_grows_dense_lanes_once(self):
+        # Nanoseconds and kiloseconds in one call: the dense lane span
+        # covers both extremes without disturbing either bucket.
+        store = LatencyStore()
+        store.record_many(np.asarray([1e-9, 1e3]))
+        assert store.count == 2
+        assert store.quantile(0.0) == pytest.approx(1e-9, rel=0.011)
+        assert store.quantile(1.0) == pytest.approx(1e3, rel=0.011)
+
+    def test_merge_into_empty_both_directions(self):
+        filled = LatencyStore()
+        filled.record_many(np.asarray([0.1, 0.2, 0.3]))
+        empty = LatencyStore()
+        left = empty.merge(filled)
+        right = filled.merge(LatencyStore())
+        assert left.to_dict() == right.to_dict() == filled.to_dict()
 
 
 class TestEdgeCases:

@@ -73,6 +73,7 @@ class TestRepro002:
         assert hits(FIXTURES / "runtime" / "repro002_bad.py") == [
             ("REPRO002", 9),  # time.perf_counter, no sign-off
             ("REPRO002", 13),  # perf_counter via from-import
+            ("REPRO002", 19),  # coalesced-flush stamp, no sign-off
         ]
 
     def test_runtime_suppressions_and_sleep_pass(self):

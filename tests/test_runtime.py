@@ -162,6 +162,8 @@ class TestConfigValidation:
             RuntimeConfig(capacity=0)
         with pytest.raises(ValueError, match="service_cost"):
             RuntimeConfig(service_cost=-0.1)
+        with pytest.raises(ValueError, match="flush_size"):
+            RuntimeConfig(flush_size=0)
 
     def test_timestamp_length_checked(self):
         partitioner = make_partitioner("sg", 2, seed=42)
@@ -188,6 +190,28 @@ class TestBenchHarness:
             assert entry["p99_sojourn_seconds"] > 0
             assert entry["mode"] == "simulated"
             assert entry["dropped"] == 0
+            assert entry["streaming"] is False
+            # The per-stage transport breakdown rides along.
+            for stage_field in (
+                "route_seconds", "scatter_seconds",
+                "flush_stall_seconds", "drain_seconds",
+            ):
+                assert entry[stage_field] >= 0.0
+            assert entry["transport_overhead_ratio"] >= 1.0
+            assert entry["flushes"] >= 2
+
+    def test_streaming_bench_matches_materialized_counts(self):
+        common = dict(
+            schemes=("pkg",),
+            num_messages=5_000,
+            num_workers=2,
+            config=RuntimeConfig(mode="simulated"),
+        )
+        (plain,) = bench_throughput_e2e(**common)
+        (streamed,) = bench_throughput_e2e(streaming=True, **common)
+        assert plain["streaming"] is False
+        assert streamed["streaming"] is True
+        assert streamed["num_messages"] == plain["num_messages"] == 5_000
 
     def test_e2e_entries_are_diffable(self):
         from repro.reports.diffing import bench_snapshot_artifact

@@ -1,0 +1,193 @@
+"""Streaming chunk sources: byte-identity with materialised streams.
+
+The whole point of :class:`~repro.core.chunks.ChunkSource` is that
+bounded-memory streaming changes *nothing* downstream: for stationary
+datasets the chunk-wise inverse-CDF draws concatenate byte-for-byte
+into the same stream :meth:`DatasetSpec.stream` materialises, drift
+datasets fall back to a materialised source transparently, and every
+pass over a source re-emits the identical stream.  The alias-method
+sampler is a deliberate exception -- deterministic under its seed and
+distribution-faithful, but a *different* stream than the CDF path --
+and its contract is pinned as such.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import ArrayChunkSource, ChunkSource
+from repro.streams.datasets import DATASETS, get_dataset
+from repro.streams.distributions import (
+    AliasSampler,
+    DistributionChunkSource,
+    ZipfKeyDistribution,
+)
+
+ALL_DATASETS = sorted(DATASETS)
+
+
+def collect(source):
+    chunks = list(source.chunks())
+    return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+
+
+class TestStreamByteIdentity:
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_iter_stream_equals_stream(self, name):
+        spec = get_dataset(name)
+        m = 5_000
+        materialized = spec.stream(m, seed=11)
+        streamed = np.concatenate(
+            list(spec.iter_stream(m, seed=11, chunk_size=1_024))
+        )
+        np.testing.assert_array_equal(streamed, materialized)
+
+    @pytest.mark.parametrize("chunk_size", [1, 999, 4_096, 65_536])
+    def test_identity_holds_on_any_chunk_grid(self, chunk_size):
+        spec = get_dataset("WP")
+        materialized = spec.stream(3_000, seed=5)
+        source = spec.chunk_source(3_000, seed=5, chunk_size=chunk_size)
+        np.testing.assert_array_equal(collect(source), materialized)
+
+    def test_two_passes_are_identical(self):
+        source = get_dataset("TW").chunk_source(4_000, seed=3, chunk_size=512)
+        np.testing.assert_array_equal(collect(source), collect(source))
+
+    def test_materialize_equals_chunks(self):
+        source = get_dataset("LN1").chunk_source(2_500, seed=9, chunk_size=700)
+        np.testing.assert_array_equal(source.materialize(), collect(source))
+
+    def test_drift_dataset_falls_back_to_materialized(self):
+        spec = get_dataset("CT")
+        source = spec.chunk_source(2_000, seed=4, chunk_size=256)
+        assert isinstance(source, ArrayChunkSource)
+        np.testing.assert_array_equal(collect(source), spec.stream(2_000, seed=4))
+
+    def test_chunk_grid_shape(self):
+        source = get_dataset("WP").chunk_source(2_500, seed=1, chunk_size=1_000)
+        sizes = [int(c.size) for c in source.chunks()]
+        assert sizes == [1_000, 1_000, 500]
+
+
+class TestArrayChunkSource:
+    def test_slices_without_copy_semantics_change(self):
+        keys = np.arange(100, dtype=np.int64)
+        source = ArrayChunkSource(keys, chunk_size=33)
+        np.testing.assert_array_equal(collect(source), keys)
+
+    def test_reset_rewinds_mid_pass(self):
+        source = ArrayChunkSource(np.arange(10, dtype=np.int64), chunk_size=4)
+        rng = source.rng()
+        first = source.next_chunk(rng)
+        assert first.tolist() == [0, 1, 2, 3]
+        source.reset()
+        np.testing.assert_array_equal(collect(source), np.arange(10))
+
+    def test_exhaustion_yields_empty(self):
+        source = ArrayChunkSource(np.arange(5, dtype=np.int64), chunk_size=5)
+        rng = source.rng()
+        assert source.next_chunk(rng).size == 5
+        assert source.next_chunk(rng).size == 0
+
+    def test_empty_stream(self):
+        source = ArrayChunkSource(np.empty(0, dtype=np.int64))
+        assert collect(source).size == 0
+        assert list(source.chunks()) == []
+
+
+class TestValidation:
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="num_messages"):
+            get_dataset("WP").chunk_source(-1)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ArrayChunkSource(np.arange(3, dtype=np.int64), chunk_size=0)
+
+    def test_unknown_method_rejected(self):
+        dist = ZipfKeyDistribution(1.2, 100)
+        with pytest.raises(ValueError, match="method"):
+            dist.chunk_source(100, method="magic")
+
+    def test_short_sample_chunk_is_an_error(self):
+        class Lying(ChunkSource):
+            def sample_chunk(self, size, rng):
+                return np.zeros(max(size - 1, 0), dtype=np.int64)
+
+        source = Lying(10, chunk_size=4)
+        with pytest.raises(ValueError, match="sample_chunk"):
+            source.next_chunk(source.rng())
+
+    def test_repr_names_the_grid(self):
+        source = get_dataset("WP").chunk_source(500, seed=2, chunk_size=100)
+        text = repr(source)
+        assert "500" in text and "100" in text
+
+
+class TestAliasSampler:
+    def test_deterministic_under_seed(self):
+        dist = ZipfKeyDistribution(1.5, 1_000)
+        a = dist.alias_sampler().sample(5_000, np.random.default_rng(7))
+        b = dist.alias_sampler().sample(5_000, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_distribution_faithful_on_head(self):
+        # Head-key frequencies within 5 sigma of the exact binomial --
+        # the alias table must encode the same measure as the CDF.
+        dist = ZipfKeyDistribution(1.1, 500)
+        m = 200_000
+        draws = dist.alias_sampler().sample(m, np.random.default_rng(123))
+        counts = np.bincount(draws, minlength=500)
+        for key in range(20):
+            p = dist.probabilities[key]
+            sigma = np.sqrt(m * p * (1 - p))
+            assert abs(counts[key] - m * p) < 5 * sigma, key
+
+    def test_one_uniform_per_draw(self):
+        # Alias consumes exactly `size` uniforms: the next draw from
+        # the same generator matches a fresh generator advanced by m.
+        dist = ZipfKeyDistribution(1.3, 64)
+        rng = np.random.default_rng(5)
+        dist.alias_sampler().sample(1_000, rng)
+        tail = rng.random(4)
+        fresh = np.random.default_rng(5)
+        fresh.random(1_000)
+        np.testing.assert_array_equal(tail, fresh.random(4))
+
+    def test_alias_source_differs_from_cdf_but_same_support(self):
+        dist = ZipfKeyDistribution(1.4, 200)
+        cdf = collect(dist.chunk_source(3_000, seed=8, method="cdf"))
+        alias = collect(dist.chunk_source(3_000, seed=8, method="alias"))
+        assert not np.array_equal(cdf, alias)
+        assert alias.min() >= 0 and alias.max() < 200
+
+    def test_degenerate_single_key(self):
+        sampler = AliasSampler([1.0])
+        out = sampler.sample(100, np.random.default_rng(0))
+        assert np.all(out == 0)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+        with pytest.raises(ValueError):
+            AliasSampler([0.5, -0.5])
+
+    @given(
+        exponent=st.floats(min_value=0.0, max_value=2.5),
+        num_keys=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_draws_stay_in_range(self, exponent, num_keys):
+        dist = ZipfKeyDistribution(exponent, num_keys)
+        out = dist.alias_sampler().sample(256, np.random.default_rng(1))
+        assert out.dtype == np.int64
+        assert out.min() >= 0 and out.max() < num_keys
+
+    def test_chunked_alias_source_deterministic(self):
+        dist = ZipfKeyDistribution(1.2, 128)
+        src = dist.chunk_source(2_000, seed=6, chunk_size=333, method="alias")
+        assert isinstance(src, DistributionChunkSource)
+        np.testing.assert_array_equal(collect(src), collect(src))
