@@ -20,6 +20,7 @@ from repro.lint.rules.repro002 import HotPathPurity
 from repro.lint.rules.repro003 import PartitionerContract
 from repro.lint.rules.repro004 import PicklableCells
 from repro.lint.rules.repro005 import SpecCompleteness
+from repro.lint.rules.repro006 import BoundedBlocking
 
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRng(),
@@ -27,6 +28,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     PartitionerContract(),
     PicklableCells(),
     SpecCompleteness(),
+    BoundedBlocking(),
 )
 
 __all__ = [
@@ -39,6 +41,7 @@ __all__ = [
     "PartitionerContract",
     "PicklableCells",
     "SpecCompleteness",
+    "BoundedBlocking",
     "call_name",
     "decorator_targets",
 ]

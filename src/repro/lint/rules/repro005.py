@@ -20,6 +20,13 @@ Checked call sites (first-argument string literals):
 
 In markdown documents, backtick spans shaped like spec strings with
 parameters (``name:key=value[,key=value]``) are validated the same way.
+
+Fault-injection specs (``kill:w=1@n=5000`` -- the ``--fault`` grammar
+of :mod:`repro.runtime.faults`) share the ``name:key=value`` shape, so
+this rule routes any spec whose head is a fault kind through
+``validate_fault_spec`` instead: quoted chaos recipes in docs and
+``parse_fault``/``FaultPlan.parse`` literals in code must parse, and a
+typo'd fault kind or parameter fails the lint pass, not the chaos run.
 """
 
 from __future__ import annotations
@@ -46,6 +53,26 @@ _RUN_KEYWORDS = frozenset({"keys", "dataset", "distribution", "num_workers"})
 _MD_SPEC = re.compile(
     r"`(?P<spec>[a-z][a-z0-9_-]*:[a-z0-9_]+=[^,`\s]+(?:,[a-z0-9_]+=[^,`\s]+)*)`"
 )
+
+#: bare/attribute call names whose literal arguments are fault specs.
+_FAULT_CALLS = frozenset({"parse_fault"})
+
+
+def _fault_kind(spec: str) -> Optional[str]:
+    """The fault kind heading ``spec``, if it is a --fault string."""
+    from repro.runtime.faults import FAULT_KINDS
+
+    head = spec.split(":", 1)[0]
+    return head if head in FAULT_KINDS else None
+
+
+def validate_any_spec(spec: str) -> Optional[str]:
+    """Validate a scheme *or* fault spec, dispatching on its head."""
+    from repro.runtime.faults import validate_fault_spec
+
+    if _fault_kind(spec) is not None:
+        return validate_fault_spec(spec)
+    return validate_spec(spec)
 
 
 def validate_spec(spec: str) -> Optional[str]:
@@ -85,6 +112,24 @@ def _spec_argument(node: ast.Call) -> Optional[ast.Constant]:
     return None
 
 
+def _is_fault_call(node: ast.Call) -> bool:
+    """Whether this call's literal arguments are --fault grammar specs.
+
+    Matches ``parse_fault("...")`` by name and ``FaultPlan.parse([...])``
+    by shape (the attribute ``parse`` on a ``FaultPlan`` name).
+    """
+    if isinstance(node.func, ast.Name):
+        return node.func.id in _FAULT_CALLS
+    if isinstance(node.func, ast.Attribute):
+        if node.func.attr in _FAULT_CALLS:
+            return True
+        return node.func.attr == "parse" and (
+            isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "FaultPlan"
+        )
+    return False
+
+
 def _is_spec_call(node: ast.Call) -> bool:
     if isinstance(node.func, ast.Name):
         if node.func.id in _SPEC_CALLS:
@@ -110,19 +155,44 @@ class SpecCompleteness(Rule):
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call) or not _is_spec_call(node):
+            if not isinstance(node, ast.Call):
                 continue
-            literal = _spec_argument(node)
-            if literal is None:
-                continue
-            problem = validate_spec(literal.value)
+            if _is_spec_call(node):
+                literal = _spec_argument(node)
+                if literal is None:
+                    continue
+                problem = validate_spec(literal.value)
+                if problem is not None:
+                    yield ctx.finding(literal, self.id, problem)
+            elif _is_fault_call(node):
+                yield from self._check_fault_literals(ctx, node)
+
+    def _check_fault_literals(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        from repro.runtime.faults import validate_fault_spec
+
+        if not node.args:
+            return
+        first = node.args[0]
+        literals: list = []
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            literals.append(first)
+        elif isinstance(first, (ast.List, ast.Tuple)):
+            literals.extend(
+                el
+                for el in first.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            )
+        for literal in literals:
+            problem = validate_fault_spec(literal.value)
             if problem is not None:
                 yield ctx.finding(literal, self.id, problem)
 
     def check_markdown(self, path: str, text: str) -> Iterator[Finding]:
         for lineno, line in enumerate(text.splitlines(), start=1):
             for match in _MD_SPEC.finditer(line):
-                problem = validate_spec(match.group("spec"))
+                problem = validate_any_spec(match.group("spec"))
                 if problem is not None:
                     yield Finding(
                         path=path,

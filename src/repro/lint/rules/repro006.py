@@ -1,0 +1,147 @@
+"""REPRO006: blocking in the runtime must be deadline-bounded.
+
+The sharded runtime's robustness contract (ARCHITECTURE.md,
+"Supervision & recovery") is that *no* failure mode can hang the
+source or a worker: every wait either carries an explicit timeout or
+lives inside a loop with a reachable exit that supervision can drive.
+A single bare ``queue.get()`` or ``process.join()`` silently reverts
+the whole subsystem to "hangs on the first dead peer" -- and the hang
+only manifests under a failure, exactly when nobody is watching.
+
+Flagged, in files under a ``runtime`` directory:
+
+* ``<x>.join()`` with no arguments -- ``Process``/``Thread`` joins
+  block forever on a wedged child; pass ``timeout=`` and escalate
+  (``str.join`` always takes an argument, so it never matches);
+* ``<x>.get()`` / ``<x>.recv()`` with no arguments -- queue and pipe
+  reads block forever on a dead producer; pass ``timeout=``
+  (``dict.get`` always takes an argument, so it never matches);
+* ``while True:`` (or any constant-true condition) loops with no
+  ``break``, ``return`` or ``raise`` anywhere in the body -- spin
+  loops that nothing can end.  Loops over a state condition
+  (``while not self.dead:``) are accepted; bounding those is the
+  deadline logic's job, which the chaos tests exercise.
+
+Suppress a deliberate unbounded wait with ``# repro: noqa[REPRO006]``
+and a comment explaining why it cannot hang.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule
+
+#: zero-argument attribute calls that block without a deadline.
+_BLOCKING_METHODS = frozenset({"join", "get", "recv"})
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    """Whether a loop condition is statically always truthy."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+class _ExitFinder(ast.NodeVisitor):
+    """Whether a loop body contains a reachable exit statement.
+
+    ``return``/``raise`` count at any depth except inside nested
+    function definitions (those exit the inner function, not the
+    loop); ``break`` additionally stops counting inside nested loops
+    (it exits the inner loop only).
+    """
+
+    def __init__(self) -> None:
+        self.found = False
+
+    def visit_Break(self, node: ast.Break) -> None:
+        self.found = True
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.found = True
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self.found = True
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_nested_loop(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_nested_loop(node)
+
+    def _visit_nested_loop(self, node: ast.AST) -> None:
+        # A break inside a nested loop exits that loop, not ours, but
+        # returns and raises still propagate -- recurse with a finder
+        # that ignores breaks.
+        inner = _ReturnRaiseFinder()
+        for child in ast.iter_child_nodes(node):
+            inner.visit(child)
+        if inner.found:
+            self.found = True
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+class _ReturnRaiseFinder(_ExitFinder):
+    def visit_Break(self, node: ast.Break) -> None:
+        pass
+
+
+class BoundedBlocking(Rule):
+    id = "REPRO006"
+    name = "bounded-blocking"
+    description = (
+        "runtime waits must carry deadlines: no bare join()/get()/"
+        "recv() and no constant-true loops without an exit"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.has_part("runtime"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.While):
+                yield from self._check_while(ctx, node)
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _BLOCKING_METHODS:
+            return
+        if node.args or node.keywords:
+            return
+        yield ctx.finding(
+            node,
+            self.id,
+            f"bare .{func.attr}() blocks forever on a dead peer; pass "
+            "timeout= and escalate to supervision on expiry",
+        )
+
+    def _check_while(
+        self, ctx: ModuleContext, node: ast.While
+    ) -> Iterator[Finding]:
+        if not _is_constant_true(node.test):
+            return
+        finder = _ExitFinder()
+        for child in node.body:
+            finder.visit(child)
+        if finder.found:
+            return
+        yield ctx.finding(
+            node,
+            self.id,
+            "constant-true loop has no break/return/raise: nothing can "
+            "end this wait; add a deadline check that exits or raises",
+        )

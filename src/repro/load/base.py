@@ -99,6 +99,17 @@ class LoadEstimator(ABC):
     def reset(self) -> None:  # pragma: no cover - overridden where stateful
         """Forget accumulated state (default: nothing to forget)."""
 
+    def mask_workers(self, workers: Sequence[int]) -> None:
+        """Make ``workers`` maximally unattractive to :meth:`select`.
+
+        Reroute recovery calls this when workers die mid-stream so
+        load-aware schemes *prefer* the survivors on their own (the
+        engine's deterministic remap guarantees correctness either
+        way; this only improves degraded balance).  The default is a
+        no-op -- estimators without a poisonable load vector rely on
+        the remap alone.
+        """
+
 
 def vectorizable_loads(
     estimator: LoadEstimator,

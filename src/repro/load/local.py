@@ -10,9 +10,16 @@ the local maxima (local imbalances).
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 import numpy as np
 
 from repro.load.base import LoadEstimator, WorkerLoadRegistry
+
+#: load sentinel written into masked workers' slots: far above any real
+#: count (streams are < 2^40 messages) yet still int64-safe under the
+#: +1 increments of on_send.
+MASKED_LOAD = 2**62
 
 
 class LocalLoadEstimator(LoadEstimator):
@@ -29,13 +36,14 @@ class LocalLoadEstimator(LoadEstimator):
         probing -- see :class:`ProbingLoadEstimator`).
     """
 
-    __slots__ = ("local", "registry")
+    __slots__ = ("local", "registry", "_masked")
 
     def __init__(self, num_workers: int, registry: WorkerLoadRegistry = None):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.local = np.zeros(num_workers, dtype=np.int64)
         self.registry = registry
+        self._masked: Tuple[int, ...] = ()
 
     def estimates(self, now: float = 0.0) -> np.ndarray:
         return self.local
@@ -51,6 +59,22 @@ class LocalLoadEstimator(LoadEstimator):
 
     def reset(self) -> None:
         self.local[:] = 0
+        self._apply_mask()
+
+    def mask_workers(self, workers: Sequence[int]) -> None:
+        """Poison dead workers' slots so select() avoids them naturally.
+
+        The sentinel survives :meth:`reset` (a masked worker stays
+        masked for the rest of the run) and dwarfs every real count, so
+        a d-choice draw whose candidates include a dead worker resolves
+        to a live one whenever the candidate set has any.
+        """
+        self._masked = tuple(int(w) for w in workers)
+        self._apply_mask()
+
+    def _apply_mask(self) -> None:
+        if self._masked:
+            self.local[list(self._masked)] = MASKED_LOAD
 
     def __repr__(self) -> str:
         return f"LocalLoadEstimator(num_workers={self.local.size})"

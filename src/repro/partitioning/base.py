@@ -18,13 +18,27 @@ out of the loop and vectorise whatever their state permits.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 
 class Partitioner(ABC):
-    """Routes message keys to workers ``0 .. num_workers - 1``."""
+    """Routes message keys to workers ``0 .. num_workers - 1``.
+
+    **Worker masking (failover).**  The runtime's reroute recovery
+    removes dead workers from every scheme's effective candidate set
+    via :meth:`mask_worker`: afterwards :meth:`remap_masked` rewrites
+    any decision for a masked worker to its deterministic deputy
+    (``alive[dead % len(alive)]``), and load-aware schemes additionally
+    have their estimator poisoned (see
+    :meth:`repro.load.base.LoadEstimator.mask_workers`) so they prefer
+    survivors on their own.  The remap keeps the underlying routing
+    state evolution untouched -- decisions are remapped *after* the
+    scheme makes them -- so masking mid-stream never perturbs how
+    unaffected messages route.  Masks survive :meth:`reset` (a dead
+    worker stays dead for the rest of the run).
+    """
 
     #: short display name used in experiment tables ("PKG", "H", ...)
     name: str = "base"
@@ -33,6 +47,10 @@ class Partitioner(ABC):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
+        #: workers removed from service by reroute recovery.
+        self._masked: Set[int] = set()
+        #: dense worker -> worker remap (None while nothing is masked).
+        self._mask_map: Optional[np.ndarray] = None
 
     @abstractmethod
     def route(self, key: Any, now: float = 0.0) -> int:
@@ -81,7 +99,79 @@ class Partitioner(ABC):
         return out
 
     def reset(self) -> None:
-        """Clear any accumulated routing state."""
+        """Clear any accumulated routing state (masks survive)."""
+
+    # -- worker masking (reroute recovery) ----------------------------------
+
+    @property
+    def masked_workers(self) -> Tuple[int, ...]:
+        """Workers currently masked out of service, ascending."""
+        return tuple(sorted(self._masked))
+
+    def mask_worker(self, worker: int) -> None:
+        """Remove ``worker`` from the effective candidate set mid-stream.
+
+        Rebuilds the deputy map over the surviving workers: every
+        masked worker ``d`` forwards to ``alive[d % len(alive)]``, a
+        deterministic spread so two dead workers don't pile onto one
+        survivor.  Raises when masking would leave no worker alive.
+        Idempotent per worker.
+        """
+        worker = int(worker)
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(
+                f"worker must be in [0, {self.num_workers}), got {worker}"
+            )
+        if worker in self._masked:
+            return
+        alive = [
+            w
+            for w in range(self.num_workers)
+            if w != worker and w not in self._masked
+        ]
+        if not alive:
+            raise RuntimeError(
+                f"cannot mask worker {worker}: no workers would remain"
+            )
+        self._masked.add(worker)
+        mask_map = np.arange(self.num_workers, dtype=np.int64)
+        for dead in self._masked:
+            mask_map[dead] = alive[dead % len(alive)]
+        self._mask_map = mask_map
+        self._on_mask()
+
+    def remap_masked(self, assignments: np.ndarray) -> np.ndarray:
+        """Rewrite masked workers in routed ``assignments`` to deputies.
+
+        The identity gather when nothing is masked; the engine applies
+        this to every routed chunk, which is what makes reroute
+        recovery correct for *every* scheme regardless of whether its
+        internals know about the mask.
+        """
+        if self._mask_map is None:
+            return assignments
+        return self._mask_map[assignments]
+
+    def remap_worker(self, worker: int) -> int:
+        """The live deputy for ``worker`` (itself when not masked)."""
+        if self._mask_map is None:
+            return int(worker)
+        return int(self._mask_map[worker])
+
+    def _on_mask(self) -> None:
+        """Hook run after the mask changes; default poisons estimators.
+
+        Schemes carrying a ``self.estimator`` load vector get it
+        poisoned so d-choice draws avoid dead workers on their own;
+        schemes without one are covered by :meth:`remap_masked` alone.
+        Subclasses with other maskable state (rebalance targets,
+        routing tables) may extend this.
+        """
+        from repro.load.base import LoadEstimator
+
+        estimator = getattr(self, "estimator", None)
+        if isinstance(estimator, LoadEstimator):
+            estimator.mask_workers(self.masked_workers)
 
     def memory_entries(self) -> int:
         """Routing-table entries this partitioner must store.

@@ -178,8 +178,10 @@ def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
     ``e2e_messages_per_second`` is higher-is-better;
     ``p99_sojourn_seconds``, the per-stage transport breakdown
     (``route_seconds`` / ``scatter_seconds`` / ``flush_stall_seconds``
-    / ``drain_seconds``) and the ``transport_overhead_ratio`` are
-    lower-is-better.  Suite-level entries
+    / ``drain_seconds`` / ``recovery_seconds``), the
+    ``transport_overhead_ratio`` and the robustness counters (``lost``,
+    ``restarts``, ``stall_timeouts``) are lower-is-better.
+    Suite-level entries
     carrying ``sweep_wall_clock_seconds`` (the experiments-sweep wall
     clock written by ``repro.reports run``) become lower-is-better
     metrics, so the parallel executor's end-to-end time is gated the
@@ -222,7 +224,14 @@ def bench_snapshot_artifact(data: Mapping) -> ExperimentArtifact:
             "scatter_seconds",
             "flush_stall_seconds",
             "drain_seconds",
+            "recovery_seconds",
             "transport_overhead_ratio",
+            # Robustness telemetry: messages lost, worker respawns and
+            # pushes that tripped their deadline all shrink as the
+            # runtime gets more resilient.
+            "lost",
+            "restarts",
+            "stall_timeouts",
         ):
             if stage_field in entry:
                 metrics.append(

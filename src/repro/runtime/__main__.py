@@ -11,6 +11,14 @@ chunk-wise through the dataset's ``ChunkSource`` instead of
 materialising them (the verify replay then re-iterates the same source
 -- byte-identical by construction).  ``--bench`` merges the measured
 ``<scheme>@e2e`` entries into ``BENCH_partitioners.json``.
+
+Fault injection and recovery: ``--fault kill:w=1@n=5000`` (repeatable)
+injects seeded faults, ``--recovery {fail,reroute,restart}`` picks the
+policy, and ``--chaos`` draws a random seeded fault plan when no
+explicit ``--fault`` is given.  Under faults, ``--verify`` checks the
+conservation law ``sent == processed + dropped + lost`` for every run
+and additionally demands byte-identical counts (and a fully recovered
+``status=ok``) under ``--recovery restart`` with a lossless policy.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ from repro.runtime.engine import (
     run_runtime,
     runtime_available,
 )
+from repro.runtime.faults import FaultPlan
+from repro.runtime.supervision import RECOVERY_POLICIES
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -87,6 +97,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         "when full or at end-of-stream (default: %(default)s)",
     )
     parser.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a fault, e.g. kill:w=1@n=5000, stall:w=0@t=1.5, "
+        "slow:w=2@n=1000:factor=8, drop:w=3@n=500:count=200 "
+        "(repeatable; n triggers on the worker's processed count)",
+    )
+    parser.add_argument(
+        "--recovery",
+        choices=RECOVERY_POLICIES,
+        default="fail",
+        help="what to do when a worker dies (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="draw a seeded random fault plan when no --fault is given",
+    )
+    parser.add_argument(
+        "--push-deadline",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="no-progress seconds before a push escalates to supervision",
+    )
+    parser.add_argument(
+        "--liveness-deadline",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="heartbeat-silence seconds before a worker is condemned",
+    )
+    parser.add_argument(
+        "--restart-limit",
+        type=int,
+        default=3,
+        help="restarts allowed per worker before a clean abort",
+    )
+    parser.add_argument(
         "--streaming",
         action="store_true",
         help="generate keys chunk-wise (bounded memory) instead of "
@@ -104,12 +154,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.fault:
+        try:
+            plan: Optional[FaultPlan] = FaultPlan.parse(
+                args.fault, seed=args.seed
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        for fault in plan.specs:
+            if fault.worker >= args.workers:
+                parser.error(
+                    f"fault {fault.describe()!r} targets worker "
+                    f"{fault.worker} but --workers is {args.workers}"
+                )
+    elif args.chaos:
+        plan = FaultPlan.random(
+            seed=args.seed,
+            num_workers=args.workers,
+            num_messages=args.messages,
+        )
+    else:
+        plan = None
+    if plan is not None:
+        print(f"faults: {plan.describe()}  recovery={args.recovery}")
+
     config = RuntimeConfig(
         capacity=args.capacity,
         policy=args.policy,
         service_cost=args.service_cost,
         mode=args.mode,
         flush_size=args.flush_size,
+        recovery=args.recovery,
+        faults=plan,
+        push_deadline=args.push_deadline,
+        liveness_deadline=args.liveness_deadline,
+        restart_limit=args.restart_limit,
     )
     if args.mode == "auto" and not runtime_available():
         print(
@@ -137,8 +216,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if result.dropped:
             line += f"  dropped={result.dropped}"
+        if result.status != "ok":
+            line += f"  status={result.status}"
         print(line)
         print(f"{'':>16}  worker_loads={result.worker_loads.tolist()}")
+        if result.failures:
+            print(
+                f"{'':>16}  failures={len(result.failures)} "
+                f"restarts={result.restarts} "
+                f"stall_timeouts={result.stall_timeouts} "
+                f"lost={result.lost} "
+                f"masked={list(result.masked_workers)}"
+            )
         stages = result.stage_seconds
         print(
             f"{'':>16}  stages: route={stages['route'] * 1e3:.1f}ms "
@@ -149,22 +238,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"overhead={result.transport_overhead_ratio:.2f}x"
         )
         if args.verify:
-            fresh = make_partitioner(scheme, args.workers, seed=args.seed)
-            replay = replay_stream(keys, fresh)
             lossless = result.policy in ("block", "spin")
-            expected = (
-                replay.final_loads
-                if lossless
-                else replay.final_loads - result.dropped_per_worker
-            )
-            if np.array_equal(result.worker_loads, expected):
-                print(f"{'':>16}  verify: counts match replay_stream")
-            else:
+            if not result.conservation_ok:
                 failures += 1
                 print(
-                    f"{'':>16}  verify: MISMATCH "
-                    f"(replay {replay.final_loads.tolist()})"
+                    f"{'':>16}  verify: CONSERVATION VIOLATED "
+                    f"(sent={result.sent} processed={result.processed} "
+                    f"dropped={result.dropped} lost={result.lost})"
                 )
+            elif plan is not None and not (
+                args.recovery == "restart" and lossless
+            ):
+                # Degraded/aborted runs cannot match the fault-free
+                # replay; exact conservation is their contract.
+                print(
+                    f"{'':>16}  verify: conservation holds "
+                    f"(sent={result.sent} = processed={result.processed} "
+                    f"+ dropped={result.dropped} + lost={result.lost})"
+                )
+            else:
+                fresh = make_partitioner(scheme, args.workers, seed=args.seed)
+                replay = replay_stream(keys, fresh)
+                expected = (
+                    replay.final_loads
+                    if lossless
+                    else replay.final_loads - result.dropped_per_worker
+                )
+                recovered = plan is None or result.status == "ok"
+                if np.array_equal(result.worker_loads, expected) and recovered:
+                    print(
+                        f"{'':>16}  verify: counts match replay_stream"
+                        + (" (recovered)" if plan is not None else "")
+                    )
+                else:
+                    failures += 1
+                    print(
+                        f"{'':>16}  verify: MISMATCH "
+                        f"(replay {replay.final_loads.tolist()}, "
+                        f"status={result.status})"
+                    )
 
     if args.bench:
         from repro.reports.bench import merge_bench_results, write_bench_snapshot

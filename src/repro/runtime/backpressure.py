@@ -14,6 +14,15 @@ single process: with producer and consumer sharing a thread, "wait for
 the consumer" must mean "run the consumer", so the engine passes each
 worker's drain step as the callback and the policies call it instead of
 sleeping.
+
+**No wait here is unbounded.**  A crashed or wedged consumer must never
+hang the source, so every lossless wait is clipped twice: by
+``deadline`` -- seconds of *no ring progress* (progress resets it) --
+and by a retry-count backstop when no deadline is given.  Both raise
+:class:`RingStallError` carrying exact partial-progress accounting
+(``pushed``/``stalls``), which is what lets the supervision layer
+(:mod:`repro.runtime.supervision`) resume or reroute the remainder of
+the push after recovery instead of guessing what made it into the ring.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import numpy as np
 __all__ = [
     "POLICIES",
     "PushOutcome",
+    "RingStallError",
     "RingStalledError",
     "push_with_backpressure",
 ]
@@ -40,18 +50,33 @@ POLICIES: Tuple[str, ...] = ("block", "spin", "drop")
 _BLOCK_SLEEP = 50e-6
 #: busy iterations the spin policy burns before degrading to a sleep.
 _SPIN_ITERATIONS = 2_000
-#: full-ring retries before declaring the consumer dead.  With the
-#: block policy's sleep this bounds the wait to ~60 s of wall time
-#: without ever reading a clock (REPRO002: retry counts, not deadlines).
+#: full-ring retries before declaring the consumer dead when no
+#: deadline is configured.  With the block policy's sleep this bounds
+#: the wait to ~60 s of wall time without ever reading a clock.
 _MAX_RETRIES = 1_200_000
 
 
-class RingStalledError(RuntimeError):
-    """A full ring made no progress across the whole retry budget.
+class RingStallError(RuntimeError):
+    """A full ring made no progress through the deadline/retry budget.
 
-    The likely cause is a dead worker process; blocking forever would
-    hang the source, so the push gives up loudly instead.
+    The likely cause is a dead or wedged worker; blocking forever would
+    hang the source, so the push gives up loudly instead.  ``pushed``
+    and ``stalls`` carry the partial progress of the failed call: the
+    leading ``pushed`` messages *are* in the ring (the consumer may or
+    may not have processed them), everything after is still the
+    caller's to deliver -- exactly what recovery needs to resume.
     """
+
+    def __init__(
+        self, message: str, *, pushed: int = 0, stalls: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.pushed = int(pushed)
+        self.stalls = int(stalls)
+
+
+#: backward-compatible name (pre-supervision releases).
+RingStalledError = RingStallError
 
 
 @dataclass
@@ -70,28 +95,35 @@ def push_with_backpressure(
     stamps: np.ndarray,
     policy: str,
     drain: Optional[Callable[[], int]] = None,
+    deadline: Optional[float] = None,
 ) -> PushOutcome:
     """Push every message (or account for every drop) under ``policy``.
 
     ``block`` and ``spin`` guarantee ``dropped == 0``: the call returns
-    only once the ring accepted all messages (or raises
-    :class:`RingStalledError` after the retry budget).  ``drop`` pushes
-    what fits immediately and sheds the rest.  ``drain``, when given,
-    replaces waiting entirely (simulated-rings mode).
+    only once the ring accepted all messages, or raises
+    :class:`RingStallError` once the ring has made no progress for
+    ``deadline`` seconds (or through the retry backstop when
+    ``deadline`` is None).  ``drop`` pushes what fits immediately and
+    sheds the rest.  ``drain``, when given, replaces waiting entirely
+    (simulated-rings mode).
     """
     if policy not in POLICIES:
         raise ValueError(
             f"policy must be one of {POLICIES}, got {policy!r}"
         )
+    if deadline is not None and deadline < 0:
+        raise ValueError(f"deadline must be >= 0, got {deadline}")
     total = int(indices.size)
     offset = 0
     stalls = 0
     retries = 0
+    stall_started: Optional[float] = None
     while offset < total:
         pushed = ring.try_push(indices[offset:], stamps[offset:])
         if pushed:
             offset += pushed
             retries = 0
+            stall_started = None
             continue
         stalls += 1
         if policy == "drop":
@@ -99,16 +131,36 @@ def push_with_backpressure(
         if drain is not None:
             if drain() > 0:
                 continue
-            # A drain that cannot progress on a full ring is a consumer
-            # bug; retrying would loop forever in one thread.
-            raise RingStalledError(
-                "simulated-ring drain made no progress on a full ring"
+            # A drain that cannot progress on a full ring means the
+            # in-process consumer is dead or stalled; retrying would
+            # loop forever in one thread, so fail over to supervision.
+            raise RingStallError(
+                "simulated-ring drain made no progress on a full ring",
+                pushed=offset,
+                stalls=stalls,
             )
+        if deadline is not None:
+            # The stall clock is runtime supervision telemetry, never a
+            # routing input (REPRO002 noqa): it bounds how long a push
+            # may wait on an unresponsive consumer, and is only read
+            # while the ring is already stalled.
+            now = time.perf_counter()  # repro: noqa[REPRO002]
+            if stall_started is None:
+                stall_started = now
+            elif now - stall_started >= deadline:
+                raise RingStallError(
+                    f"ring made no progress for {deadline:g}s "
+                    "(worker dead or wedged?)",
+                    pushed=offset,
+                    stalls=stalls,
+                )
         retries += 1
-        if retries > _MAX_RETRIES:
-            raise RingStalledError(
+        if deadline is None and retries > _MAX_RETRIES:
+            raise RingStallError(
                 f"ring stayed full through {retries} retries "
-                "(worker process dead?)"
+                "(worker process dead?)",
+                pushed=offset,
+                stalls=stalls,
             )
         if policy == "spin":
             for _ in range(_SPIN_ITERATIONS):

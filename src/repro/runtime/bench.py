@@ -40,6 +40,7 @@ def e2e_entry(
         "scatter_seconds": stages.get("scatter", 0.0),
         "flush_stall_seconds": stages.get("flush_stall", 0.0),
         "drain_seconds": stages.get("drain", 0.0),
+        "recovery_seconds": stages.get("recovery", 0.0),
         "transport_overhead_ratio": result.transport_overhead_ratio,
         "flushes": result.flushes,
         "num_messages": result.num_messages,
@@ -48,6 +49,10 @@ def e2e_entry(
         "policy": result.policy,
         "dropped": result.dropped,
         "streaming": bool(streaming),
+        "status": result.status,
+        "lost": result.lost,
+        "restarts": result.restarts,
+        "stall_timeouts": result.stall_timeouts,
     }
 
 

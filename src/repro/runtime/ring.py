@@ -184,6 +184,19 @@ class SpscRing:
         """Producer's end-of-stream signal (set after the last push)."""
         self._header[_DONE] = 1
 
+    def reset(self) -> None:
+        """Rewind the ring to empty-and-open (restart recovery only).
+
+        Clears both cursors and the done flag.  This breaks the
+        single-writer discipline on ``head``, so it is only legal while
+        the consumer side is provably gone -- the supervisor calls it
+        after reaping a dead worker and before attaching its
+        replacement to the same backing memory.
+        """
+        self._header[_HEAD] = 0
+        self._header[_TAIL] = 0
+        self._header[_DONE] = 0
+
     # -- consumer side ------------------------------------------------------
 
     def try_pop(self, max_items: int) -> Tuple[np.ndarray, np.ndarray]:

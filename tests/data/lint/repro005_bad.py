@@ -18,3 +18,13 @@ def resolve_typo():
 
 def facade_typo(keys):
     return run("kg-rebalancing:interval=100", keys=keys, num_workers=4)  # line 20
+
+
+def fault_bad_param():
+    return parse_fault("kill:w=1@n=5000:factor=2")  # line 24: kill takes none
+
+
+def fault_plan_literals():
+    return FaultPlan.parse(
+        ["stall:w=0@n=100", "slow:w=9@x=3"], seed=7  # line 29: bad trigger
+    )

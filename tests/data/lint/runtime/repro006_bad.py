@@ -1,0 +1,26 @@
+"""Fixture: unbounded blocking the runtime must never ship."""
+
+import time
+
+
+def bare_join(proc):
+    proc.join()  # line 7: blocks forever on a wedged child
+
+
+def bare_queue_get(results):
+    return results.get()  # line 11: blocks forever on a dead producer
+
+
+def bare_pipe_recv(conn):
+    return conn.recv()  # line 15: blocks forever on a dead peer
+
+
+def spin_forever(ring):
+    while True:  # line 19: nothing can end this wait
+        if ring.empty():
+            time.sleep(0.001)
+
+
+def spin_forever_constant(ring):
+    while 1:  # line 25: constant-true spelled as an int
+        time.sleep(0.001)

@@ -1,0 +1,57 @@
+"""Fixture: deadline-bounded blocking the rule must accept."""
+
+import queue
+import time
+
+
+def bounded_join(proc):
+    proc.join(timeout=5.0)
+    if proc.is_alive():
+        proc.terminate()
+
+
+def bounded_get(results):
+    try:
+        return results.get(timeout=0.05)
+    except queue.Empty:
+        return None
+
+
+def loop_with_raise(ring, deadline):
+    waited = 0.0
+    while True:
+        if not ring.empty():
+            return ring.pop()
+        if waited >= deadline:
+            raise TimeoutError("no ring progress")
+        time.sleep(0.001)
+        waited += 0.001
+
+
+def loop_with_break(ring):
+    while True:
+        if ring.empty():
+            break
+        ring.pop()
+
+
+def condition_loop(loop):
+    # State-condition loops are the deadline logic's job, not this
+    # rule's: accepted as-is.
+    while not loop.dead:
+        loop.step()
+
+
+def string_join(parts):
+    return ",".join(parts)
+
+
+def dict_get(mapping, key):
+    return mapping.get(key, 0)
+
+
+def nested_loop_with_return(items):
+    while True:
+        for item in items:
+            if item:
+                return item

@@ -32,7 +32,14 @@ class TestRuleTable:
     def test_ids_are_unique_and_ordered(self):
         ids = [rule.id for rule in ALL_RULES]
         assert ids == sorted(set(ids))
-        assert ids == ["REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"]
+        assert ids == [
+            "REPRO001",
+            "REPRO002",
+            "REPRO003",
+            "REPRO004",
+            "REPRO005",
+            "REPRO006",
+        ]
 
     def test_every_rule_documents_itself(self):
         for rule in ALL_RULES:
@@ -122,21 +129,59 @@ class TestRepro005:
             ("REPRO005", 12),  # unknown parameter
             ("REPRO005", 16),  # resolve_scheme_name typo
             ("REPRO005", 20),  # run(...) facade typo
+            ("REPRO005", 24),  # kill fault with a parameter
+            ("REPRO005", 29),  # FaultPlan.parse literal with bad trigger
         ]
 
     def test_good_fixture_is_clean(self):
         assert hits(FIXTURES / "repro005_good.py") == []
 
     def test_markdown_specs(self):
+        # Scheme typos flag; fault specs route through the --fault
+        # grammar, so the valid chaos recipe on line 14 passes and only
+        # the malformed one on line 15 flags.
         assert hits(FIXTURES / "specs_bad.md") == [
             ("REPRO005", 9),
             ("REPRO005", 10),
+            ("REPRO005", 15),
         ]
 
     def test_messages_name_the_registry(self):
         findings = lint_file(str(FIXTURES / "repro005_bad.py"))
         assert "pkg" in findings[0].message  # known schemes listed
         assert "valid parameters" in findings[1].message
+
+
+class TestRepro006:
+    def test_bad_fixture_lines(self):
+        assert hits(FIXTURES / "runtime" / "repro006_bad.py") == [
+            ("REPRO006", 7),  # bare Process.join()
+            ("REPRO006", 11),  # bare Queue.get()
+            ("REPRO006", 15),  # bare Connection.recv()
+            ("REPRO006", 19),  # while True with no exit
+            ("REPRO006", 25),  # while 1 with no exit
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert (
+            hits(FIXTURES / "runtime" / "repro006_good.py", rule="REPRO006")
+            == []
+        )
+
+    def test_rule_only_fires_under_runtime_dirs(self, tmp_path):
+        # The same bare join() outside a runtime directory is out of
+        # scope -- the deadline contract belongs to the runtime.
+        snippet = tmp_path / "elsewhere.py"
+        snippet.write_text("def f(p):\n    p.join()\n")
+        assert hits(snippet, rule="REPRO006") == []
+
+    def test_runtime_sources_comply(self):
+        # The contract the rule enforces must hold for the runtime
+        # package itself, with zero suppressions needed for blocking
+        # primitives (REPRO002 wall-clock noqas are separate).
+        runtime_dir = REPO_ROOT / "src" / "repro" / "runtime"
+        for path in sorted(runtime_dir.glob("*.py")):
+            assert hits(path, rule="REPRO006") == [], path.name
 
 
 class TestSuppressions:
@@ -230,7 +275,14 @@ class TestCli:
     def test_fixture_corpus_exits_one_with_all_rules(self):
         proc = run_cli("tests/data/lint")
         assert proc.returncode == 1
-        for rule_id in ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"):
+        for rule_id in (
+            "REPRO001",
+            "REPRO002",
+            "REPRO003",
+            "REPRO004",
+            "REPRO005",
+            "REPRO006",
+        ):
             assert rule_id in proc.stdout
 
     def test_json_format(self):

@@ -146,7 +146,7 @@ class TestStageBreakdown:
             RuntimeConfig(mode="simulated"),
         )
         assert set(result.stage_seconds) == {
-            "route", "scatter", "flush_stall", "drain"
+            "route", "scatter", "flush_stall", "drain", "recovery"
         }
         for stage, seconds in result.stage_seconds.items():
             assert seconds >= 0.0, stage
